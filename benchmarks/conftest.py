@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's figures (or an ablation of
+it) and prints the same rows/series the figure reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the reproduced tables; the pytest-benchmark timings measure
+the cost of the full experiment (workload generation + simulation +
+analysis).
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def trial_count():
+    """Trials per experiment arm.
+
+    Enough for stable orderings and CDF shapes while keeping the whole
+    harness under a few minutes; raise for publication-grade smoothness.
+    """
+    return 20

@@ -1,0 +1,48 @@
+"""ABL-CB: sweep the mobile codebook (narrow / wide / omni) through the
+full protocol.
+
+Extends Fig. 2a's search-only comparison to the complete handover: the
+omni mobile fails not just at search but at every stage, while wide
+beams trade search speed against link margin.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.ablations import (
+    summarize_sweep,
+    sweep_codebook_beamwidth,
+)
+
+
+def reproduce(n_trials):
+    return sweep_codebook_beamwidth(n_trials=n_trials, base_seed=1500)
+
+
+def test_ablation_codebook(benchmark, trial_count):
+    sweep = benchmark.pedantic(
+        reproduce, args=(max(10, trial_count // 2),), iterations=1, rounds=1
+    )
+    summary_rows = summarize_sweep(sweep)
+    rows = [
+        [
+            row["label"],
+            row["trials"],
+            row["completion_rate"],
+            row["mean_completion_s"]
+            if row["mean_completion_s"] is not None
+            else "-",
+        ]
+        for row in summary_rows
+    ]
+    print()
+    print(
+        format_table(
+            ["codebook", "trials", "completion rate", "mean time (s)"],
+            rows,
+            title="Ablation: mobile codebook through the full protocol (walk)",
+        )
+    )
+    summary = {row["label"]: row for row in summary_rows}
+    # Directional codebooks complete; omni collapses end-to-end.
+    assert summary["narrow"]["completion_rate"] >= 0.8
+    assert summary["narrow"]["completion_rate"] >= summary["omni"]["completion_rate"]
+    assert summary["omni"]["completion_rate"] <= 0.5

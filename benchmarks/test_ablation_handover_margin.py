@@ -1,0 +1,46 @@
+"""ABL-T: sweep the handover margin T (edge E threshold).
+
+Small T triggers early — handover completes sooner after search, but
+the target may be barely better than the serving cell.  Large T waits
+until the target dominates, lengthening the tracked period.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.ablations import summarize_sweep, sweep_handover_margin
+
+
+def reproduce(n_trials):
+    return sweep_handover_margin(
+        margins_db=(0.0, 3.0, 6.0, 9.0), n_trials=n_trials, base_seed=1300
+    )
+
+
+def test_ablation_handover_margin(benchmark, trial_count):
+    sweep = benchmark.pedantic(
+        reproduce, args=(max(10, trial_count // 2),), iterations=1, rounds=1
+    )
+    rows = [
+        [
+            row["label"],
+            row["trials"],
+            row["completion_rate"],
+            row["mean_completion_s"] if row["mean_completion_s"] is not None else "-",
+        ]
+        for row in summarize_sweep(sweep)
+    ]
+    print()
+    print(
+        format_table(
+            ["margin", "trials", "completion rate", "mean time (s)"],
+            rows,
+            title="Ablation: handover margin T (walk scenario)",
+        )
+    )
+    summary = {row["label"]: row for row in summarize_sweep(sweep)}
+    # The paper's T=3 dB operating point completes reliably.
+    assert summary["T=3dB"]["completion_rate"] >= 0.8
+    # Earlier triggers complete no later than very conservative ones.
+    eager = summary["T=0dB"]["mean_completion_s"]
+    lazy = summary["T=9dB"]["mean_completion_s"]
+    if eager is not None and lazy is not None:
+        assert eager <= lazy + 0.5

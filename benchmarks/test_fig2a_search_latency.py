@@ -1,0 +1,49 @@
+"""FIG2A-LAT: Fig. 2a left panel — search latency (number of beam searches).
+
+Paper shape: narrow (20 deg) beams need more beam searches than wide
+(60 deg) beams, because the receive codebook is 3x larger and one beam
+is tried per SSB burst.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig2a import run_fig2a
+
+
+def reproduce(n_trials):
+    return run_fig2a(
+        n_trials=n_trials,
+        scenario="walk",
+        base_seed=1000,
+        codebooks=("narrow", "wide"),
+    )
+
+
+def test_fig2a_search_latency(benchmark, trial_count):
+    results = benchmark.pedantic(
+        reproduce, args=(trial_count,), iterations=1, rounds=1
+    )
+    rows = []
+    for kind in ("narrow", "wide"):
+        latency = results[kind]["latency"]
+        rows.append(
+            [
+                kind,
+                latency["count"],
+                latency["mean"],
+                latency["p50"],
+                latency["p90"],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["codebook", "successes", "mean dwells", "p50", "p90"],
+            rows,
+            title="Fig. 2a (left): search latency under human walk",
+        )
+    )
+    narrow = results["narrow"]["latency"]
+    wide = results["wide"]["latency"]
+    # The paper's ordering: narrow search costs more dwells.
+    assert narrow["p50"] > wide["p50"]
+    assert narrow["count"] > 0 and wide["count"] > 0

@@ -1,0 +1,48 @@
+"""Extension bench: exhaustive vs hierarchical neighbor search.
+
+Context for the paper's design choice: Silent Tracker searches narrow
+beams exhaustively.  Two-stage (wide -> narrow) search costs fewer
+dwells when the coarse tier can detect — but the coarse tier has wide-
+beam gain, so at the cell edge the first stage inherits Fig. 2a's
+wide-beam failure mode.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.hierarchical import compare_search_strategies
+
+
+def reproduce(n_trials):
+    return compare_search_strategies(n_trials=n_trials, base_seed=1700)
+
+
+def test_hierarchical_search(benchmark, trial_count):
+    results = benchmark.pedantic(
+        reproduce, args=(trial_count,), iterations=1, rounds=1
+    )
+    rows = []
+    for name in ("exhaustive", "hierarchical"):
+        data = results[name]
+        latency = data["latency"]
+        rows.append(
+            [
+                name,
+                100.0 * data["success_rate"],
+                latency["mean"] if latency["count"] else "-",
+                latency["p90"] if latency["count"] else "-",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["strategy", "success %", "mean dwells", "p90 dwells"],
+            rows,
+            title="Extension: exhaustive vs hierarchical search (walk)",
+        )
+    )
+    # Exhaustive narrow search stays reliable at the cell edge.
+    assert results["exhaustive"]["success_rate"] >= 0.8
+    # When hierarchical succeeds it is at least competitive in dwells.
+    hier = results["hierarchical"]["latency"]
+    exhaustive = results["exhaustive"]["latency"]
+    if hier["count"] >= 5:
+        assert hier["mean"] <= exhaustive["mean"] + 3.0

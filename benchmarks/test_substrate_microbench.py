@@ -1,0 +1,78 @@
+"""Substrate micro-benchmarks: the per-dwell costs everything rides on.
+
+Not a paper figure — these keep the simulator honest (a reproduction
+whose channel evaluation is accidentally quadratic would silently cap
+experiment sizes) and document the throughput headroom for larger
+sweeps.
+"""
+
+from repro.experiments.scenarios import build_cell_edge_deployment
+from repro.phy.codebook import Codebook
+from repro.sim.engine import Simulator
+
+
+def test_bench_burst_measurement(benchmark):
+    """Cost of one full SSB burst evaluation (18 tx dwells)."""
+    deployment, mobile = build_cell_edge_deployment(1, scenario="walk")
+    station = deployment.station("cellA")
+    state = {"t": 0.0}
+
+    def one_burst():
+        state["t"] += 0.02
+        t = state["t"]
+        return deployment.links.measure_burst(
+            station,
+            mobile.mobile_id,
+            mobile.pose_at(t),
+            mobile.rx_gain_fn(t),
+            0,
+            t,
+        )
+
+    benchmark(one_burst)
+
+
+def test_bench_event_engine(benchmark):
+    """Raw event throughput of the discrete-event core."""
+
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run_until(100.0)
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_codebook_selection(benchmark):
+    """Best-beam lookup over an 18-beam ring."""
+    codebook = Codebook.uniform_azimuth(20.0)
+
+    def select():
+        total = 0
+        for k in range(100):
+            total += codebook.best_beam_towards(0.0628 * k).index
+        return total
+
+    benchmark(select)
+
+
+def test_bench_full_tracking_trial(benchmark):
+    """End-to-end cost of one Fig. 2c walk trial."""
+    from repro.experiments.fig2c import run_tracking_trial
+
+    state = {"seed": 0}
+
+    def trial():
+        state["seed"] += 1
+        return run_tracking_trial("walk", seed=state["seed"])
+
+    result = benchmark(trial)
+    assert result.scenario == "walk"

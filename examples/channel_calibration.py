@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Channel calibration view: the RSS workloads the protocol lives on.
+
+Renders, as terminal sparklines, the RSS a mobile observes toward the
+neighbor cell in each scenario — once with a genie-pointed beam (the
+upper envelope) and once holding a fixed beam (what motion does to a
+beam nobody adapts).  The gap between the two is the job Silent
+Tracker's 3 dB rule performs.
+
+Run:  python examples/channel_calibration.py
+"""
+
+from repro.analysis.plotting import sparkline
+from repro.experiments.workloads import (
+    detection_duty_cycle,
+    generate_rss_trace,
+)
+
+FLOOR_DBM = -80.0  # render non-detections at the noise floor
+
+
+def render(scenario: str, policy: str, seed: int = 5) -> None:
+    trace = generate_rss_trace(
+        scenario=scenario,
+        rx_beam_policy=policy,
+        seed=seed,
+        duration_s=4.0,
+    )
+    values = [
+        point.rss_dbm if point.rss_dbm is not None else FLOOR_DBM
+        for point in trace
+    ]
+    detected = [p for p in trace if p.rss_dbm is not None]
+    stats = ""
+    if detected:
+        rss = [p.rss_dbm for p in detected]
+        stats = f"RSS [{min(rss):6.1f}, {max(rss):6.1f}] dBm"
+    duty = detection_duty_cycle(trace)
+    print(f"  {policy:>5} beam  duty {100 * duty:5.1f}%  {stats}")
+    print(f"        {sparkline(values)}")
+
+
+def main() -> None:
+    print("Neighbor-cell (cellB) RSS over 4 s, one sample per 20 ms burst")
+    print(f"(non-detections drawn at {FLOOR_DBM:.0f} dBm)\n")
+    for scenario in ("walk", "rotation", "vehicular"):
+        print(f"--- {scenario} ---")
+        render(scenario, "best")
+        render(scenario, "fixed")
+        print()
+    print(
+        "The 'fixed' rows show the dynamic Silent Tracker corrects: under\n"
+        "rotation a static beam only hears the cell while the spin happens\n"
+        "to point it right; the tracker's adjacent-beam switches (edge H)\n"
+        "and spiral re-acquisition (edge D) recover the 'best' envelope."
+    )
+
+
+if __name__ == "__main__":
+    main()

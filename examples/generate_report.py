@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Generate the full markdown reproduction report.
+
+Regenerates every figure's data (Fig. 2a, Fig. 2c, baseline comparison)
+and writes a single markdown document.  This is the same machinery the
+EXPERIMENTS.md numbers come from.
+
+Run:  python examples/generate_report.py [n_trials] [output.md]
+"""
+
+import sys
+
+from repro.analysis.report import generate_report
+
+
+def main() -> None:
+    n_trials = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    output = sys.argv[2] if len(sys.argv) > 2 else None
+    text = generate_report(n_trials=n_trials)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Human-walk scenario with a narrated protocol trace.
+
+Reproduces the paper's primary mobility case — a pedestrian at the cell
+edge, 10 m from the base stations, walking at 1.4 m/s — and narrates
+every Fig. 2b transition, CABM exchange and RACH message as it happens,
+so you can watch the protocol operate.
+
+Run:  python examples/human_walk_handover.py
+"""
+
+from repro.core.silent_tracker import SilentTracker
+from repro.experiments.scenarios import build_cell_edge_deployment
+
+#: Human-readable labels for the trace categories we narrate.
+NARRATED = {
+    "fsm.serving": "serving FSM",
+    "fsm.neighbor": "neighbor FSM",
+    "cabm.request": "CABM request",
+    "cabm.refined": "CABM tx-beam refined",
+    "handover.trigger": "HANDOVER TRIGGER (edge E)",
+    "handover.complete": "HANDOVER COMPLETE",
+    "rach.msg1": "RACH msg1 (preamble)",
+    "rach.msg2": "RACH msg2 (response)",
+    "rach.msg3": "RACH msg3",
+    "rach.msg4": "RACH msg4 (contention resolution)",
+    "connection.rlf": "RADIO LINK FAILURE",
+    "connection.lost": "CONTEXT LOST",
+}
+
+
+def narrate(event) -> None:
+    label = NARRATED.get(event.category)
+    if label is None:
+        return
+    details = ", ".join(f"{k}={v}" for k, v in event.data.items())
+    print(f"  [{event.time * 1000:7.1f} ms] {label}: {details}")
+
+
+def main() -> None:
+    deployment, mobile = build_cell_edge_deployment(
+        seed=3, mobile_codebook="narrow", scenario="walk"
+    )
+    deployment.trace.subscribe(narrate)
+
+    print("Human walk at 1.4 m/s across the cellA/cellB boundary")
+    print(f"start position: x = {mobile.pose_at(0.0).position.x:.1f} m")
+    print()
+
+    protocol = SilentTracker(deployment, mobile, serving_cell="cellA")
+    protocol.start()
+    deployment.run(6.0)
+    protocol.stop()
+
+    print()
+    print("--- run summary ---")
+    print(f"final serving cell: {mobile.connection.serving_cell}")
+    print(f"bursts measured: {mobile.bursts_measured}, "
+          f"declined: {mobile.bursts_declined}, "
+          f"skipped busy: {mobile.bursts_skipped_busy}")
+    print(f"neighbor search dwells: {protocol.tracker.search_dwells}")
+    print(f"neighbor adjacent switches: {protocol.tracker.adjacent_switches}")
+    print(f"serving mobile-side switches: {protocol.beamsurfer.mobile_switches}")
+    print(f"CABM requests: {protocol.beamsurfer.cabm_requests}")
+    soft = deployment.metrics.counter("handover.soft")
+    hard = deployment.metrics.counter("handover.hard")
+    print(f"handovers: {soft} soft, {hard} hard")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Silent Tracker — SIGCOMM '21 reproduction.
+
+A full-system reproduction of *"Silent Tracker: In-band Beam Management
+for Soft Handover for mm-Wave Networks"* (Ganji, Lin, Kim, Kumar;
+SIGCOMM '21 Posters): the protocol itself plus every substrate the
+paper's 60 GHz SDR prototype provided — antennas and codebooks, a
+statistical 60 GHz channel, NR-like SSB/RACH timing, mobility models,
+base stations and mobiles on a deterministic discrete-event engine.
+
+Quickstart::
+
+    from repro.experiments import run_tracking_trial
+
+    result = run_tracking_trial("walk", seed=7)
+    print(result.outcome, result.completion_time_s)
+
+See :mod:`repro.core` for the protocol, :mod:`repro.experiments` for
+the figure reproductions, and DESIGN.md for the system inventory.
+"""
+
+from repro.core import SilentTracker, SilentTrackerConfig
+from repro.net import Deployment, DeploymentConfig, Mobile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "DeploymentConfig",
+    "Mobile",
+    "SilentTracker",
+    "SilentTrackerConfig",
+    "__version__",
+]

@@ -1,0 +1,100 @@
+"""Statistical helpers for experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.util.numerics import quantile
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF of a sample.
+
+    Returns ``(xs, ps)`` where ``ps[i]`` is the fraction of samples
+    ``<= xs[i]`` — the series Fig. 2c plots.
+    """
+    if not values:
+        raise ValueError("empirical CDF of empty sample")
+    xs = sorted(values)
+    n = len(xs)
+    ps = [(i + 1) / n for i in range(n)]
+    return xs, ps
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of samples ``<= x``."""
+    if not values:
+        raise ValueError("CDF of empty sample")
+    return sum(1 for v in values if v <= x) / len(values)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Summary dict: count, mean, p10/p50/p90, min, max, stddev."""
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = (
+        sum((v - mean) ** 2 for v in ordered) / (n - 1) if n > 1 else 0.0
+    )
+    return {
+        "count": n,
+        "mean": mean,
+        "stddev": math.sqrt(variance),
+        "min": ordered[0],
+        "p10": quantile(ordered, 0.10),
+        "p50": quantile(ordered, 0.50),
+        "p90": quantile(ordered, 0.90),
+        "max": ordered[-1],
+    }
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` normal-approximation CI of the mean.
+
+    ``z = 1.96`` gives a 95% interval; fine for the trial counts
+    (tens to hundreds) the benches run.
+    """
+    if not values:
+        raise ValueError("confidence interval of empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, mean, mean
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = z * math.sqrt(variance / n)
+    return mean, mean - half, mean + half
+
+
+def success_rate(successes: int, trials: int) -> float:
+    """Fraction in [0, 1]; raises on zero trials."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials!r}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes {successes!r} out of range for {trials!r} trials"
+        )
+    return successes / trials
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation at the extreme success
+    rates the Fig. 2a panels produce (narrow ~1.0, omni ~0.1).
+    """
+    p = success_rate(successes, trials)
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``        one narrated soft-handover run (the quickstart).
+``fig2a``       reproduce Fig. 2a (search latency + success rate).
+``fig2c``       reproduce Fig. 2c (completion-time CDFs).
+``compare``     Silent Tracker vs reactive vs oracle.
+``fsm``         print the Fig. 2b state machine (ASCII or DOT).
+``report``      full markdown reproduction report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.stats import empirical_cdf, summarize
+from repro.analysis.tables import format_cdf_series, format_table
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.silent_tracker import SilentTracker
+    from repro.experiments.scenarios import build_cell_edge_deployment
+
+    deployment, mobile = build_cell_edge_deployment(
+        args.seed, scenario=args.scenario
+    )
+    protocol = SilentTracker(deployment, mobile, "cellA")
+    protocol.start()
+    deployment.run(args.duration)
+    protocol.stop()
+    print(f"final serving cell: {mobile.connection.serving_cell}")
+    for record in protocol.handover_log.records:
+        if record.complete_s is None:
+            continue
+        print(
+            f"{record.source_cell} -> {record.target_cell}: "
+            f"{record.outcome.value}, interruption "
+            f"{record.interruption_s * 1000:.0f} ms"
+        )
+    return 0
+
+
+def _cmd_fig2a(args: argparse.Namespace) -> int:
+    from repro.experiments.fig2a import run_fig2a
+
+    results = run_fig2a(
+        n_trials=args.trials, scenario=args.scenario, base_seed=args.seed
+    )
+    rows = []
+    for kind in ("narrow", "wide", "omni"):
+        data = results[kind]
+        latency = data["latency"]
+        rows.append(
+            [
+                kind,
+                100.0 * data["success_rate"],
+                latency["mean"] if latency["count"] else "-",
+                latency["p50"] if latency["count"] else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["codebook", "success %", "mean dwells", "p50 dwells"],
+            rows,
+            title=f"Fig. 2a ({args.scenario}, {args.trials} trials)",
+        )
+    )
+    return 0
+
+
+def _cmd_fig2c(args: argparse.Namespace) -> int:
+    from repro.experiments.fig2c import run_fig2c
+
+    results = run_fig2c(n_trials=args.trials, base_seed=args.seed)
+    rows = []
+    for scenario in ("walk", "rotation", "vehicular"):
+        data = results[scenario]
+        summary = summarize(data["completion_times_s"])
+        rows.append(
+            [
+                scenario,
+                data["completion_rate"],
+                data["soft_rate"],
+                summary.get("p50", "-"),
+                summary.get("p90", "-"),
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "completion", "soft", "p50 (s)", "p90 (s)"],
+            rows,
+            title=f"Fig. 2c ({args.trials} trials per scenario)",
+        )
+    )
+    if args.cdf:
+        series = {
+            scenario: results[scenario]["completion_times_s"]
+            for scenario in ("walk", "rotation", "vehicular")
+            if results[scenario]["completion_times_s"]
+        }
+        if series:
+            from repro.analysis.plotting import ascii_cdf_plot
+
+            print()
+            print(ascii_cdf_plot(series, x_label="completion time (s)"))
+        for scenario, times in series.items():
+            xs, ps = empirical_cdf(times)
+            print()
+            print(format_cdf_series(scenario, xs, ps))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.comparison import (
+        run_comparison,
+        summarize_comparison,
+    )
+
+    results = run_comparison(
+        scenario=args.scenario, n_trials=args.trials, base_seed=args.seed
+    )
+    rows = [
+        [
+            row["protocol"],
+            row["completed_any"],
+            row["soft_ratio"] if row["soft_ratio"] is not None else "-",
+            row["mean_interruption_s"]
+            if row["mean_interruption_s"] is not None
+            else "-",
+        ]
+        for row in summarize_comparison(results)
+    ]
+    print(
+        format_table(
+            ["protocol", "completed", "soft ratio", "interruption (s)"],
+            rows,
+            title=f"Baselines ({args.scenario}, {args.trials} trials)",
+        )
+    )
+    return 0
+
+
+def _cmd_fsm(args: argparse.Namespace) -> int:
+    from repro.core.fsm_diagram import render_ascii, render_dot
+
+    if args.dot:
+        print(render_dot(include_guards=args.guards))
+    else:
+        print(render_ascii())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(n_trials=args.trials, base_seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Silent Tracker (SIGCOMM '21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one soft-handover demo")
+    demo.add_argument("--scenario", default="walk",
+                      choices=("walk", "rotation", "vehicular"))
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--duration", type=float, default=6.0)
+    demo.set_defaults(func=_cmd_demo)
+
+    fig2a = sub.add_parser("fig2a", help="reproduce Fig. 2a")
+    fig2a.add_argument("--trials", type=int, default=20)
+    fig2a.add_argument("--scenario", default="walk",
+                       choices=("walk", "rotation", "vehicular"))
+    fig2a.add_argument("--seed", type=int, default=100)
+    fig2a.set_defaults(func=_cmd_fig2a)
+
+    fig2c = sub.add_parser("fig2c", help="reproduce Fig. 2c")
+    fig2c.add_argument("--trials", type=int, default=20)
+    fig2c.add_argument("--seed", type=int, default=200)
+    fig2c.add_argument("--cdf", action="store_true",
+                       help="print the CDF series too")
+    fig2c.set_defaults(func=_cmd_fig2c)
+
+    compare = sub.add_parser("compare", help="protocols head to head")
+    compare.add_argument("--scenario", default="vehicular",
+                         choices=("walk", "rotation", "vehicular"))
+    compare.add_argument("--trials", type=int, default=10)
+    compare.add_argument("--seed", type=int, default=700)
+    compare.set_defaults(func=_cmd_compare)
+
+    fsm = sub.add_parser("fsm", help="print the Fig. 2b state machine")
+    fsm.add_argument("--dot", action="store_true", help="emit graphviz DOT")
+    fsm.add_argument("--guards", action="store_true",
+                     help="annotate edges with threshold conditions")
+    fsm.set_defaults(func=_cmd_fsm)
+
+    report = sub.add_parser("report", help="full reproduction report")
+    report.add_argument("--trials", type=int, default=20)
+    report.add_argument("--seed", type=int, default=5000)
+    report.add_argument("--output", default=None,
+                        help="write markdown here instead of stdout")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The paper's contribution: Silent Tracker and its companions.
+
+* :class:`~repro.core.silent_tracker.SilentTracker` — the in-band
+  soft-handover beam-management protocol (Fig. 2b state machine).
+* :class:`~repro.core.beamsurfer.BeamSurfer` — the serving-cell beam
+  maintenance protocol Silent Tracker runs concurrently (ref. [2] of the
+  paper).
+* :mod:`repro.core.baselines` — reactive hard handover, omni receiver,
+  and a genie-aided oracle tracker for comparison benches.
+"""
+
+from repro.core.beamsurfer import BeamSurfer, BeamSurferConfig, ServingState
+from repro.core.config import SilentTrackerConfig
+from repro.core.events import Fig2bEdge, NeighborState
+from repro.core.neighbor_tracker import NeighborTracker
+from repro.core.silent_tracker import SilentTracker
+
+__all__ = [
+    "BeamSurfer",
+    "BeamSurferConfig",
+    "Fig2bEdge",
+    "NeighborState",
+    "NeighborTracker",
+    "ServingState",
+    "SilentTracker",
+    "SilentTrackerConfig",
+]

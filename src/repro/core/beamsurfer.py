@@ -1,0 +1,264 @@
+"""BeamSurfer: in-band serving-cell beam maintenance (paper ref. [2]).
+
+Two adjustments, both driven purely by serving-cell RSS:
+
+(i)  **Mobile-side (S-RBA)** — when the serving RSS drops 3 dB below the
+     level the current receive beam delivered at selection, probe the
+     two directionally adjacent receive beams on the next serving bursts
+     and move to the best of the three.
+
+(ii) **Base-station-side (CABM)** — when (i) no longer suffices (the
+     best mobile beam is still 3 dB down), request a transmit-beam
+     switch from the serving cell.  The request rides the uplink, so at
+     the true cell edge it can be *delayed or lost* (edge G of Fig. 2b),
+     which is exactly when the serving link starts to die and Silent
+     Tracker's silently-tracked neighbor beam becomes the escape route.
+
+The class is a pure decision engine: the enclosing protocol feeds it
+serving-cell measurements and asks which receive beam to use for each
+serving burst; it reports when a CABM request should be sent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.measure.filters import DropDetector
+from repro.measure.report import RssMeasurement
+from repro.phy.codebook import Codebook
+
+
+class ServingState(enum.Enum):
+    """Serving-side sub-machine (EO / S-RBA / CABM of Fig. 2b)."""
+
+    EDGE_OPERATION = "eo"
+    MOBILE_ADAPTATION = "s-rba"
+    CELL_ASSISTED = "cabm"
+
+
+@dataclass(frozen=True)
+class BeamSurferConfig:
+    """BeamSurfer thresholds.
+
+    Attributes
+    ----------
+    adapt_threshold_db:
+        The 3 dB drop that triggers receive-beam adaptation.
+    ewma_alpha:
+        RSS smoothing factor.
+    probe_patience_bursts:
+        How many serving bursts a probe candidate gets before the probe
+        moves on (non-detections count).
+    """
+
+    adapt_threshold_db: float = 3.0
+    ewma_alpha: float = 0.6
+    probe_patience_bursts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.adapt_threshold_db <= 0.0:
+            raise ValueError(
+                f"adapt threshold must be positive, got {self.adapt_threshold_db!r}"
+            )
+        if self.probe_patience_bursts < 1:
+            raise ValueError(
+                f"probe patience must be >= 1, got {self.probe_patience_bursts!r}"
+            )
+
+
+class BeamSurfer:
+    """Serving-link beam maintenance decision engine.
+
+    Parameters
+    ----------
+    codebook:
+        The mobile's receive codebook.
+    initial_beam:
+        Receive beam the connection was established on.
+    on_transition:
+        ``f(old_state, new_state, edge_label, now_s)`` trace hook.
+    """
+
+    def __init__(
+        self,
+        codebook: Codebook,
+        initial_beam: int,
+        config: Optional[BeamSurferConfig] = None,
+        on_transition: Optional[Callable] = None,
+    ) -> None:
+        self.codebook = codebook
+        self.config = config or BeamSurferConfig()
+        self._state = ServingState.EDGE_OPERATION
+        self._beam = initial_beam
+        self._detector = DropDetector(
+            self.config.adapt_threshold_db, self.config.ewma_alpha
+        )
+        self._armed = False
+        self._on_transition = on_transition
+        # Probe bookkeeping (S-RBA).
+        self._probe_candidates: List[int] = []
+        self._probe_results: dict = {}
+        self._probe_current: Optional[int] = None
+        self._probe_dwells_left = 0
+        self._baseline_rss: Optional[float] = None
+        #: Set when mobile-side adaptation failed and the serving cell
+        #: should be asked for a transmit-beam switch; the enclosing
+        #: protocol clears it once the request is delivered.
+        self.cabm_request_pending = False
+        # Statistics.
+        self.mobile_switches = 0
+        self.cabm_requests = 0
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def state(self) -> ServingState:
+        return self._state
+
+    @property
+    def beam(self) -> int:
+        """Receive beam currently committed for serving data."""
+        return self._beam
+
+    @property
+    def smoothed_rss_dbm(self) -> Optional[float]:
+        """Smoothed serving RSS (None before the first detection)."""
+        return self._detector.smoothed_dbm if self._armed else None
+
+    def _transition(self, new_state: ServingState, edge: str, now_s: float) -> None:
+        if new_state is self._state:
+            return
+        old = self._state
+        self._state = new_state
+        if self._on_transition is not None:
+            self._on_transition(old, new_state, edge, now_s)
+
+    # ------------------------------------------------------------ burst beam
+    def beam_for_burst(self) -> int:
+        """Receive beam to hold for the upcoming serving-cell burst.
+
+        In EO this is the committed beam; during S-RBA probing it is the
+        probe candidate under evaluation.
+        """
+        if self._state is ServingState.MOBILE_ADAPTATION and self._probe_current is not None:
+            return self._probe_current
+        return self._beam
+
+    # ---------------------------------------------------------- measurements
+    def on_serving_measurement(self, measurement: RssMeasurement, now_s: float) -> None:
+        """Feed the result of a serving-cell burst dwell."""
+        if self._state is ServingState.MOBILE_ADAPTATION:
+            self._on_probe_measurement(measurement, now_s)
+            return
+        self._on_committed_measurement(measurement, now_s)
+
+    def _on_committed_measurement(
+        self, measurement: RssMeasurement, now_s: float
+    ) -> None:
+        if not measurement.detected:
+            # A missed serving dwell on the committed beam is a strong
+            # degradation signal; treat it as a threshold crossing.
+            if self._armed:
+                self._begin_probe(now_s)
+            return
+        if not self._armed:
+            self._detector.rearm(measurement.rss_dbm)
+            self._armed = True
+            return
+        dropped = self._detector.update(measurement.rss_dbm)
+        if self._state is ServingState.CELL_ASSISTED:
+            # Waiting for the cell to move its transmit beam; recovery
+            # is detected here (edge F), renewed degradation re-probes.
+            if not dropped:
+                self.cabm_request_pending = False
+                self._detector.rearm(measurement.rss_dbm)
+                self._transition(ServingState.EDGE_OPERATION, "F", now_s)
+            return
+        if dropped:
+            self._begin_probe(now_s)
+        # else: edge A self-loop — connectivity healthy, nothing to do.
+
+    # -------------------------------------------------------------- probing
+    def _begin_probe(self, now_s: float) -> None:
+        """Enter S-RBA: evaluate the two directionally adjacent beams."""
+        self._baseline_rss = self._detector.smoothed_dbm
+        self._probe_candidates = self.codebook.adjacent_indices(self._beam)
+        if not self._probe_candidates:
+            # Single-beam (omni) codebook: mobile-side adaptation is
+            # impossible, go straight to cell assistance (edge G).
+            self._request_cabm(now_s)
+            return
+        self._probe_results = {}
+        self._probe_current = self._probe_candidates[0]
+        self._probe_dwells_left = self.config.probe_patience_bursts
+        self._transition(ServingState.MOBILE_ADAPTATION, "G", now_s)
+
+    def _on_probe_measurement(self, measurement: RssMeasurement, now_s: float) -> None:
+        candidate = self._probe_current
+        if measurement.detected:
+            previous = self._probe_results.get(candidate)
+            if previous is None or measurement.rss_dbm > previous:
+                self._probe_results[candidate] = measurement.rss_dbm
+            advance = True
+        else:
+            self._probe_dwells_left -= 1
+            advance = self._probe_dwells_left <= 0
+        if not advance:
+            return
+        next_index = self._probe_candidates.index(candidate) + 1
+        if next_index < len(self._probe_candidates):
+            self._probe_current = self._probe_candidates[next_index]
+            self._probe_dwells_left = self.config.probe_patience_bursts
+            return
+        self._conclude_probe(now_s)
+
+    def _conclude_probe(self, now_s: float) -> None:
+        """Pick the best candidate (or keep the old beam) after probing."""
+        self._probe_current = None
+        best_beam = self._beam
+        best_rss = self._baseline_rss if self._baseline_rss is not None else -1e9
+        for beam, rss in self._probe_results.items():
+            if rss > best_rss:
+                best_rss = rss
+                best_beam = beam
+        reference = self._detector.reference_dbm
+        switched = best_beam != self._beam
+        if switched:
+            self._beam = best_beam
+            self.mobile_switches += 1
+        recovered = (
+            self._probe_results.get(best_beam) is not None
+            and reference is not None
+            and self._probe_results[best_beam]
+            >= reference - self.config.adapt_threshold_db
+        )
+        if recovered or (switched and reference is None):
+            self._detector.rearm(best_rss)
+            self._transition(ServingState.EDGE_OPERATION, "A", now_s)
+        else:
+            # The best the mobile can do alone is still degraded: ask
+            # the serving cell for a transmit-beam switch (edge G).
+            if switched:
+                self._detector.rearm(best_rss)
+            self._request_cabm(now_s)
+
+    def _request_cabm(self, now_s: float) -> None:
+        self.cabm_request_pending = True
+        self.cabm_requests += 1
+        self._transition(ServingState.CELL_ASSISTED, "G", now_s)
+
+    # ------------------------------------------------------------- rebinding
+    def rebind(self, beam: int, rss_dbm: Optional[float] = None) -> None:
+        """Reset onto a new serving beam (after handover or re-entry)."""
+        self._beam = beam
+        self._state = ServingState.EDGE_OPERATION
+        self._probe_current = None
+        self._probe_candidates = []
+        self._probe_results = {}
+        self.cabm_request_pending = False
+        if rss_dbm is not None:
+            self._detector.rearm(rss_dbm)
+            self._armed = True
+        else:
+            self._armed = False

@@ -1,0 +1,111 @@
+"""Silent Tracker configuration.
+
+Every constant in the paper's Fig. 2b appears here by name: the 3 dB
+adaptation threshold (edges A/G/H), the 10 dB loss threshold (edge D),
+and the handover margin T (edge E).  Ablation benches sweep these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.beamsurfer import BeamSurferConfig
+
+
+@dataclass(frozen=True)
+class SilentTrackerConfig:
+    """All protocol knobs with the paper's defaults.
+
+    Attributes
+    ----------
+    adapt_threshold_db:
+        Neighbor receive-beam adaptation threshold (edge H): switch to a
+        directionally adjacent beam when tracked RSS drops this far
+        below its selection level.  Paper: 3 dB.
+    loss_threshold_db:
+        Neighbor beam-loss threshold (edge D): declare the beam lost and
+        re-acquire when RSS drops this far.  Paper: 10 dB.
+    loss_miss_limit:
+        Consecutive non-detections on the tracked beam that also declare
+        loss (a blocked beam produces silence, not a measurable drop).
+    handover_margin_db:
+        The margin T in edge E: trigger handover when smoothed
+        ``RSS_N > RSS_S + T``.
+    handover_hysteresis_db:
+        Hysteresis below T that must be lost before the trigger rearms,
+        preventing ping-pong at the cell boundary.
+    time_to_trigger_s:
+        The margin must hold continuously for this long before edge E
+        fires (NR's TTT).  0 reproduces the paper's minimal protocol;
+        the ABL-PP bench sweeps it to quantify boundary churn.
+    ewma_alpha:
+        Neighbor RSS smoothing factor.
+    search_policy:
+        ``"always"`` — neighbor search runs whenever no neighbor is
+        tracked (the experiments place the mobile at the cell edge from
+        t=0, matching the paper's setup).  ``"serving-degraded"`` —
+        search starts only once serving SNR falls below
+        ``edge_snr_threshold_db`` (edge B's operational trigger).
+    edge_snr_threshold_db:
+        Serving-SNR threshold for the ``"serving-degraded"`` policy.
+    rlf_timeout_s:
+        Serving-link silence that declares radio link failure.
+    context_loss_timeout_s:
+        Serving-link silence after which the network context is lost and
+        any subsequent access is a hard handover.
+    hard_reentry_penalty_s:
+        Extra context-rebuild cost (authentication, RRC setup) paid on
+        top of search + random access when re-entering from idle.
+    monitor_period_s:
+        Period of the RLF/context watchdog.
+    beamsurfer:
+        Serving-side (BeamSurfer) thresholds.
+    """
+
+    adapt_threshold_db: float = 3.0
+    loss_threshold_db: float = 10.0
+    loss_miss_limit: int = 3
+    handover_margin_db: float = 3.0
+    handover_hysteresis_db: float = 1.5
+    time_to_trigger_s: float = 0.0
+    ewma_alpha: float = 0.6
+    search_policy: str = "always"
+    edge_snr_threshold_db: float = 20.0
+    rlf_timeout_s: float = 0.20
+    context_loss_timeout_s: float = 0.60
+    hard_reentry_penalty_s: float = 0.10
+    monitor_period_s: float = 0.010
+    beamsurfer: BeamSurferConfig = field(default_factory=BeamSurferConfig)
+
+    def __post_init__(self) -> None:
+        if self.adapt_threshold_db <= 0.0:
+            raise ValueError(
+                f"adapt threshold must be positive, got {self.adapt_threshold_db!r}"
+            )
+        if self.loss_threshold_db <= self.adapt_threshold_db:
+            raise ValueError(
+                "loss threshold must exceed the adaptation threshold "
+                f"({self.loss_threshold_db!r} <= {self.adapt_threshold_db!r})"
+            )
+        if self.handover_hysteresis_db < 0.0:
+            raise ValueError(
+                f"hysteresis must be non-negative, got {self.handover_hysteresis_db!r}"
+            )
+        if self.time_to_trigger_s < 0.0:
+            raise ValueError(
+                f"time-to-trigger must be non-negative, got {self.time_to_trigger_s!r}"
+            )
+        if self.search_policy not in ("always", "serving-degraded"):
+            raise ValueError(
+                f"unknown search policy {self.search_policy!r}; "
+                "expected 'always' or 'serving-degraded'"
+            )
+        if self.loss_miss_limit < 1:
+            raise ValueError(
+                f"loss miss limit must be >= 1, got {self.loss_miss_limit!r}"
+            )
+        if self.rlf_timeout_s >= self.context_loss_timeout_s:
+            raise ValueError(
+                "RLF timeout must precede context loss "
+                f"({self.rlf_timeout_s!r} >= {self.context_loss_timeout_s!r})"
+            )

@@ -1,0 +1,58 @@
+"""Shared protocol enums: Fig. 2b states and edge labels.
+
+The paper's Fig. 2b draws one machine whose states describe where the
+mobile's beam-management attention is.  Operationally two concerns run
+concurrently — serving-link maintenance (EO / S-RBA / CABM, i.e.
+BeamSurfer) and neighbor-beam management (N-A/R / N-RBA) — so the
+implementation composes two sub-machines and labels every transition
+with the figure's edge letter for auditability.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Fig2bEdge(enum.Enum):
+    """Transition labels from the paper's Fig. 2b."""
+
+    #: Serving connectivity healthy: ``dRSS_S < 3 dB`` (EO self-loop).
+    A = "A"
+    #: Initiate neighbor cell beam search.
+    B = "B"
+    #: Found a neighbor cell beam.
+    C = "C"
+    #: Lost the neighbor beam: ``dRSS_N > 10 dB``.
+    D = "D"
+    #: Handover trigger: ``RSS_N > RSS_S + T``.
+    E = "E"
+    #: Cell-assisted receive-beam adaptation succeeded.
+    F = "F"
+    #: Mobile-side switch insufficient / assistance delayed or lost:
+    #: ``dRSS_S > 3 dB``.
+    G = "G"
+    #: Neighbor receive-beam adaptation: ``dRSS_N > 3 dB`` adjacent switch.
+    H = "H"
+
+
+class NeighborState(enum.Enum):
+    """Neighbor-side sub-machine states."""
+
+    #: Not engaged in neighbor beam management (not at cell edge).
+    IDLE = "idle"
+    #: Neighbor cell acquisition / re-acquisition search (N-A/R).
+    SEARCHING = "n-a/r"
+    #: Neighbor receive-beam adaptation — silently tracking (N-RBA).
+    TRACKING = "n-rba"
+
+
+class TrackerPhase(enum.Enum):
+    """Top-level lifecycle of the Silent Tracker protocol instance."""
+
+    #: Normal operation: serving maintenance, possibly neighbor tracking.
+    OPERATING = "operating"
+    #: Random access toward the handover target is in flight; both beams
+    #: must be maintained until it concludes.
+    HANDOVER = "handover"
+    #: Serving context was lost; re-entering from idle (hard handover).
+    REENTRY = "reentry"

@@ -1,0 +1,38 @@
+"""Experiment builders and runners for every figure in the paper.
+
+* :mod:`repro.experiments.scenarios` — the cell-edge deployment (three
+  base stations, one mobile) and the three mobility scenarios.
+* :mod:`repro.experiments.fig2a` — directional search latency and
+  success rate by beamwidth (Fig. 2a, both panels).
+* :mod:`repro.experiments.fig2c` — soft-handover completion-time CDFs
+  for walk / rotation / vehicular (Fig. 2c).
+* :mod:`repro.experiments.ablations` — threshold and codebook sweeps.
+* :mod:`repro.experiments.comparison` — Silent Tracker vs reactive hard
+  handover vs oracle.
+"""
+
+from repro.experiments.scenarios import (
+    SCENARIO_NAMES,
+    build_cell_edge_deployment,
+    make_mobile_codebook,
+    make_trajectory,
+)
+from repro.experiments.fig2a import SearchTrialResult, run_fig2a, run_search_trial
+from repro.experiments.fig2c import (
+    TrackingTrialResult,
+    run_fig2c,
+    run_tracking_trial,
+)
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "SearchTrialResult",
+    "TrackingTrialResult",
+    "build_cell_edge_deployment",
+    "make_mobile_codebook",
+    "make_trajectory",
+    "run_fig2a",
+    "run_fig2c",
+    "run_search_trial",
+    "run_tracking_trial",
+]

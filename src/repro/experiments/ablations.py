@@ -1,0 +1,135 @@
+"""Ablation sweeps over Silent Tracker's design constants.
+
+The paper fixes three constants (3 dB adaptation, 10 dB loss, margin T);
+these sweeps quantify how sensitive the headline behaviour is to each —
+the analysis a full-paper evaluation would include.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.core.beamsurfer import BeamSurferConfig
+from repro.core.config import SilentTrackerConfig
+from repro.experiments.fig2c import TrackingTrialResult, run_tracking_trial
+
+
+def _run_sweep(
+    configs: Dict[str, SilentTrackerConfig],
+    scenario: str,
+    n_trials: int,
+    base_seed: int,
+    codebook: str = "narrow",
+) -> Dict[str, List[TrackingTrialResult]]:
+    return {
+        label: [
+            run_tracking_trial(
+                scenario, seed=base_seed + k, config=config, codebook=codebook
+            )
+            for k in range(n_trials)
+        ]
+        for label, config in configs.items()
+    }
+
+
+def sweep_handover_margin(
+    margins_db: Sequence[float] = (0.0, 3.0, 6.0, 9.0),
+    scenario: str = "walk",
+    n_trials: int = 20,
+    base_seed: int = 300,
+) -> Dict[str, List[TrackingTrialResult]]:
+    """Sweep the margin T of edge E.
+
+    Small T hands over early (risking ping-pong and weak-target RACH);
+    large T delays until the serving link is nearly dead.
+    """
+    configs = {}
+    for margin in margins_db:
+        hysteresis = min(1.5, max(0.0, margin))
+        configs[f"T={margin:g}dB"] = SilentTrackerConfig(
+            handover_margin_db=margin, handover_hysteresis_db=hysteresis
+        )
+    return _run_sweep(configs, scenario, n_trials, base_seed)
+
+
+def sweep_adapt_threshold(
+    thresholds_db: Sequence[float] = (1.0, 3.0, 6.0),
+    scenario: str = "rotation",
+    n_trials: int = 20,
+    base_seed: int = 400,
+) -> Dict[str, List[TrackingTrialResult]]:
+    """Sweep the 3 dB adaptation threshold (edges A/G/H).
+
+    Tight thresholds switch beams eagerly (more dwells burnt probing);
+    loose ones let alignment decay toward the 10 dB loss edge.
+    """
+    configs = {}
+    for threshold in thresholds_db:
+        configs[f"adapt={threshold:g}dB"] = SilentTrackerConfig(
+            adapt_threshold_db=threshold,
+            beamsurfer=BeamSurferConfig(adapt_threshold_db=threshold),
+        )
+    return _run_sweep(configs, scenario, n_trials, base_seed)
+
+
+def sweep_codebook_beamwidth(
+    scenario: str = "walk",
+    n_trials: int = 20,
+    base_seed: int = 500,
+) -> Dict[str, List[TrackingTrialResult]]:
+    """Sweep the mobile codebook granularity (narrow vs wide vs omni)."""
+    config = SilentTrackerConfig()
+    return {
+        kind: [
+            run_tracking_trial(
+                scenario, seed=base_seed + k, config=config, codebook=kind
+            )
+            for k in range(n_trials)
+        ]
+        for kind in ("narrow", "wide", "omni")
+    }
+
+
+def sweep_loss_threshold(
+    thresholds_db: Sequence[float] = (6.0, 10.0, 15.0),
+    scenario: str = "vehicular",
+    n_trials: int = 20,
+    base_seed: int = 600,
+) -> Dict[str, List[TrackingTrialResult]]:
+    """Sweep the 10 dB loss threshold (edge D)."""
+    configs = {}
+    for threshold in thresholds_db:
+        configs[f"loss={threshold:g}dB"] = SilentTrackerConfig(
+            loss_threshold_db=threshold
+        )
+    return _run_sweep(configs, scenario, n_trials, base_seed)
+
+
+def summarize_sweep(
+    sweep: Dict[str, List[TrackingTrialResult]]
+) -> List[dict]:
+    """One summary row per sweep arm (label, completion rate, mean time...)."""
+    rows = []
+    for label, trials in sweep.items():
+        completed = [t for t in trials if t.completed]
+        times = [t.completion_time_s for t in completed]
+        rows.append(
+            {
+                "label": label,
+                "trials": len(trials),
+                "completion_rate": len(completed) / len(trials) if trials else 0.0,
+                "mean_completion_s": sum(times) / len(times) if times else None,
+                "mean_switches": (
+                    sum(t.beam_switches for t in completed) / len(completed)
+                    if completed
+                    else None
+                ),
+                "mean_reacquisitions": (
+                    sum(t.reacquisitions for t in completed) / len(completed)
+                    if completed
+                    else None
+                ),
+            }
+        )
+    return rows

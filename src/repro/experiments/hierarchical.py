@@ -1,0 +1,199 @@
+"""Extension experiment: hierarchical (wide -> narrow) neighbor search.
+
+The paper's mobile searches its narrow codebook exhaustively.  The
+standard alternative (e.g. IEEE 802.11ad SLS, and the fast-training
+strategies of the paper's ref. [6]) is two-stage: sweep a coarse tier
+first, then refine only the winning sector's narrow children.  This
+experiment quantifies the trade the paper implicitly makes:
+
+* Hierarchical search needs **fewer dwells** when the coarse tier is
+  detectable, but
+* the coarse tier has **less gain**, so at the cell edge the first
+  stage itself starts missing — exactly the Fig. 2a wide-beam failure
+  mode — and the two-stage search loses its advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import summarize, success_rate
+from repro.core.events import NeighborState
+from repro.core.neighbor_tracker import NeighborTracker
+from repro.experiments.fig2a import TARGET_CELL, NeighborSearchProbe
+from repro.experiments.scenarios import build_cell_edge_deployment
+from repro.measure.report import RssMeasurement
+from repro.phy.codebook import Codebook, HierarchicalCodebook
+
+
+@dataclass(frozen=True)
+class HierarchicalTrialResult:
+    """Outcome of one two-stage search trial."""
+
+    success: bool
+    dwells: int
+    stage_reached: int  # 1 = coarse only, 2 = refined
+    seed: int
+
+
+class HierarchicalSearchProbe:
+    """BurstListener running a coarse-then-fine search on one cell."""
+
+    def __init__(self, hierarchy: HierarchicalCodebook, target_cell: str) -> None:
+        self._hierarchy = hierarchy
+        self._target = target_cell
+        self._stage = 1
+        self._coarse_order = hierarchy.coarse.sweep_order()
+        self._cursor = 0
+        self._fine_candidates: List[int] = []
+        self.dwells = 0
+        self.found_beam: Optional[int] = None
+        self.found_rss: Optional[float] = None
+        #: Codebook the current dwell should use ('coarse' or 'fine').
+        self.active_tier = "coarse"
+
+    @property
+    def stage(self) -> int:
+        return self._stage
+
+    @property
+    def done(self) -> bool:
+        return self.found_beam is not None
+
+    def choose_rx_beam(self, cell_id: str, now_s: float) -> Optional[int]:
+        if cell_id != self._target or self.done:
+            return None
+        if self._stage == 1:
+            self.active_tier = "coarse"
+            return self._coarse_order[self._cursor % len(self._coarse_order)]
+        self.active_tier = "fine"
+        return self._fine_candidates[self._cursor % len(self._fine_candidates)]
+
+    def on_measurement(self, measurement: RssMeasurement) -> None:
+        if self.done:
+            return
+        self.dwells += 1
+        if self._stage == 1:
+            if measurement.detected:
+                # Coarse hit: refine inside this sector.
+                self._fine_candidates = self._hierarchy.children(
+                    measurement.rx_beam
+                )
+                if not self._fine_candidates:
+                    self._fine_candidates = [0]
+                self._stage = 2
+                self._cursor = 0
+            else:
+                self._cursor += 1
+        else:
+            if measurement.detected:
+                self.found_beam = measurement.rx_beam
+                self.found_rss = measurement.rss_dbm
+            else:
+                self._cursor += 1
+
+
+class TierSwitchingMobileShim:
+    """Presents the right codebook tier to the link engine per dwell.
+
+    The Mobile owns a single codebook; for the two-tier search we swap
+    the codebook reference according to the probe's active tier before
+    each burst.  A listener wrapper keeps this in one place.
+    """
+
+    def __init__(self, mobile, probe, coarse: Codebook, fine: Codebook) -> None:
+        self._mobile = mobile
+        self._probe = probe
+        self._coarse = coarse
+        self._fine = fine
+
+    def choose_rx_beam(self, cell_id: str, now_s: float) -> Optional[int]:
+        beam = self._probe.choose_rx_beam(cell_id, now_s)
+        if beam is None:
+            return None
+        self._mobile.codebook = (
+            self._coarse if self._probe.active_tier == "coarse" else self._fine
+        )
+        return beam
+
+    def on_measurement(self, measurement: RssMeasurement) -> None:
+        self._probe.on_measurement(measurement)
+
+
+def run_hierarchical_trial(
+    seed: int = 1,
+    scenario: str = "walk",
+    deadline_s: float = 1.0,
+    coarse_deg: float = 60.0,
+    fine_deg: float = 20.0,
+) -> HierarchicalTrialResult:
+    """One two-stage search trial against the cell-edge deployment."""
+    deployment, mobile = build_cell_edge_deployment(
+        seed, mobile_codebook="narrow", scenario=scenario
+    )
+    coarse = Codebook.uniform_azimuth(coarse_deg, name="coarse")
+    fine = Codebook.uniform_azimuth(fine_deg, name="fine")
+    hierarchy = HierarchicalCodebook(coarse, fine)
+    probe = HierarchicalSearchProbe(hierarchy, TARGET_CELL)
+    mobile.attach_listener(TierSwitchingMobileShim(mobile, probe, coarse, fine))
+    deployment.run(deadline_s)
+    return HierarchicalTrialResult(
+        success=probe.done,
+        dwells=probe.dwells,
+        stage_reached=probe.stage,
+        seed=seed,
+    )
+
+
+def run_exhaustive_trial(seed: int, scenario: str, deadline_s: float):
+    """Exhaustive narrow-beam search baseline (same machinery as Fig 2a)."""
+    deployment, mobile = build_cell_edge_deployment(
+        seed, mobile_codebook="narrow", scenario=scenario
+    )
+    tracker = NeighborTracker(mobile.codebook, [TARGET_CELL])
+    probe = NeighborSearchProbe(tracker, TARGET_CELL)
+    mobile.attach_listener(probe)
+    tracker.begin_search(0.0)
+    deployment.run(deadline_s)
+    success = tracker.state is NeighborState.TRACKING
+    dwells = (
+        tracker.search_dwells_at_found
+        if success and tracker.search_dwells_at_found is not None
+        else tracker.search_dwells
+    )
+    return success, dwells
+
+
+def compare_search_strategies(
+    n_trials: int = 20,
+    scenario: str = "walk",
+    deadline_s: float = 1.0,
+    base_seed: int = 3000,
+) -> Dict[str, dict]:
+    """Exhaustive vs hierarchical: success rate and dwell counts."""
+    if n_trials < 1:
+        raise ValueError(f"need >= 1 trial, got {n_trials!r}")
+    exhaustive = [
+        run_exhaustive_trial(base_seed + k, scenario, deadline_s)
+        for k in range(n_trials)
+    ]
+    hierarchical = [
+        run_hierarchical_trial(base_seed + k, scenario, deadline_s)
+        for k in range(n_trials)
+    ]
+    ex_successes = [d for ok, d in exhaustive if ok]
+    hi_successes = [t.dwells for t in hierarchical if t.success]
+    return {
+        "exhaustive": {
+            "success_rate": success_rate(len(ex_successes), n_trials),
+            "latency": summarize([float(d) for d in ex_successes]),
+        },
+        "hierarchical": {
+            "success_rate": success_rate(len(hi_successes), n_trials),
+            "latency": summarize([float(d) for d in hi_successes]),
+            "stage2_reached": sum(
+                1 for t in hierarchical if t.stage_reached == 2
+            ),
+        },
+    }

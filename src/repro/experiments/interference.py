@@ -1,0 +1,120 @@
+"""EXT-SINR: cost of SSB burst alignment between neighboring cells.
+
+The deployment staggers cell burst phases (cellA at 0 ms, cellB at
+5 ms, ...), so a neighbor-search dwell hears one cell at a time.  If
+bursts were *aligned* — as happens in synchronized networks — the same
+dwell would receive the serving cell's sweep as co-channel
+interference, degrading neighbor detection from SNR-limited to
+SINR-limited.  This experiment sweeps the victim dwell across the
+geometry and reports detection probability with and without the
+aligned interferer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.scenarios import build_cell_edge_deployment
+from repro.phy.interference import InterferenceField
+
+#: Victim cell being searched for; interfering (serving) cell.
+TARGET_CELL = "cellB"
+INTERFERER_CELL = "cellA"
+
+
+@dataclass(frozen=True)
+class SinrSample:
+    """Detection conditions at one mobile position."""
+
+    x_m: float
+    snr_db: float
+    sinr_db: float
+    detected_staggered: bool
+    detected_aligned: bool
+
+
+def sweep_positions(
+    xs_m: List[float] = None,
+    seed: int = 1,
+) -> List[SinrSample]:
+    """Evaluate neighbor-SSB detection along the street.
+
+    At each position the mobile points its best receive beam at the
+    target cell; the aligned case adds the serving cell (transmitting
+    its own best beam toward the mobile, as it would mid-sweep) as a
+    co-channel interferer.
+    """
+    if xs_m is None:
+        xs_m = [4.0 + k for k in range(13)]  # 4..16 m along the street
+    deployment, mobile = build_cell_edge_deployment(seed, scenario="walk")
+    target = deployment.station(TARGET_CELL)
+    interferer = deployment.station(INTERFERER_CELL)
+    field = InterferenceField(deployment.channel)
+    budget = target.link_budget
+    samples: List[SinrSample] = []
+    for x in xs_m:
+        # Re-pose the mobile by sampling its trajectory start offset:
+        # use the pose helper directly with a shifted position.
+        pose = mobile.pose_at(0.0)
+        pose = type(pose)(type(pose.position)(x, pose.position.y), pose.heading)
+        gain_fn = _gain_fn_for(mobile, pose)
+        rx_beam = mobile.codebook.best_beam_towards(
+            pose.world_to_body(pose.bearing_to(target.pose.position))
+        ).index
+        bearing_to_mobile = target.pose.bearing_to(pose.position)
+        signal = deployment.channel.mean_rss_dbm(
+            target.pose,
+            pose,
+            target.tx_gain_dbi(
+                target.best_tx_beam_towards(bearing_to_mobile), bearing_to_mobile
+            ),
+            gain_fn(rx_beam, pose.bearing_to(target.pose.position)),
+            target.tx_power_dbm,
+        )
+        snr = budget.snr_db(signal)
+        interferer_beam = interferer.best_tx_beam_towards(
+            interferer.pose.bearing_to(pose.position)
+        )
+        sinr = field.dwell_sinr_db(
+            signal,
+            [(interferer, interferer_beam)],
+            pose,
+            gain_fn,
+            rx_beam,
+            budget.noise_floor_dbm,
+        )
+        samples.append(
+            SinrSample(
+                x_m=x,
+                snr_db=snr,
+                sinr_db=sinr,
+                detected_staggered=snr >= budget.detection_snr_db,
+                detected_aligned=sinr >= budget.detection_snr_db,
+            )
+        )
+    return samples
+
+
+def _gain_fn_for(mobile, pose):
+    """Receive-gain closure for an explicit pose (not trajectory time)."""
+
+    def gain(rx_beam: int, world_azimuth: float) -> float:
+        return mobile.codebook.gain_dbi(rx_beam, pose.world_to_body(world_azimuth))
+
+    return gain
+
+
+def summarize_alignment_cost(samples: List[SinrSample]) -> Dict[str, float]:
+    """Aggregate the sweep into the EXT-SINR bench's row."""
+    if not samples:
+        raise ValueError("no samples")
+    n = len(samples)
+    degradations = [s.snr_db - s.sinr_db for s in samples]
+    return {
+        "positions": n,
+        "detect_rate_staggered": sum(s.detected_staggered for s in samples) / n,
+        "detect_rate_aligned": sum(s.detected_aligned for s in samples) / n,
+        "mean_sinr_penalty_db": sum(degradations) / n,
+        "max_sinr_penalty_db": max(degradations),
+    }

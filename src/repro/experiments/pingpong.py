@@ -1,0 +1,118 @@
+"""ABL-PP: ping-pong handovers vs time-to-trigger.
+
+A mobile loitering at the cell boundary sees the two cells' RSS cross
+repeatedly as shadowing evolves.  The paper's minimal trigger (edge E
+fires the moment smoothed ``RSS_N > RSS_S + T``) hands over on every
+crossing, so the mobile "ping-pongs" between cells, each switch costing
+signalling and a brief service dip.  NR counters this with a
+time-to-trigger (TTT): the margin must hold continuously before the
+event fires.  This ablation parks a slow walker at the boundary and
+counts churn as a function of TTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import SilentTrackerConfig
+from repro.core.silent_tracker import SilentTracker
+from repro.experiments.scenarios import build_cell_edge_deployment
+
+
+@dataclass(frozen=True)
+class PingPongTrialResult:
+    """Handover churn observed in one boundary-loiter trial."""
+
+    seed: int
+    handovers: int
+    ping_pongs: int  # immediate A->B->A returns
+    mean_interruption_s: float
+
+
+def _count_ping_pongs(records) -> int:
+    """A ping-pong = a completed handover straight back to the cell the
+    previous completed handover came from."""
+    completed = [r for r in records if r.complete_s is not None]
+    count = 0
+    for previous, current in zip(completed, completed[1:]):
+        if current.target_cell == previous.source_cell:
+            count += 1
+    return count
+
+
+def run_pingpong_trial(
+    time_to_trigger_s: float,
+    seed: int = 1,
+    margin_db: float = 3.0,
+    duration_s: float = 12.0,
+) -> PingPongTrialResult:
+    """Park the mobile at the A/B boundary and count the churn.
+
+    The 'walk' trajectory starting at the equal-loss point gives a slow
+    drift through the ping-pong zone.
+    """
+    config = SilentTrackerConfig(
+        handover_margin_db=margin_db,
+        time_to_trigger_s=time_to_trigger_s,
+    )
+    deployment, mobile = build_cell_edge_deployment(
+        seed, scenario="walk", start_x=10.0
+    )
+    protocol = SilentTracker(deployment, mobile, "cellA", config)
+    protocol.start()
+    deployment.run(duration_s)
+    protocol.stop()
+    completed = [
+        r for r in protocol.handover_log.records if r.complete_s is not None
+    ]
+    interruptions = [r.interruption_s for r in completed]
+    return PingPongTrialResult(
+        seed=seed,
+        handovers=len(completed),
+        ping_pongs=_count_ping_pongs(protocol.handover_log.records),
+        mean_interruption_s=(
+            sum(interruptions) / len(interruptions) if interruptions else 0.0
+        ),
+    )
+
+
+def sweep_time_to_trigger(
+    ttt_s_values: Sequence[float] = (0.0, 0.16, 0.48),
+    n_trials: int = 10,
+    base_seed: int = 8000,
+) -> Dict[str, List[PingPongTrialResult]]:
+    """Churn vs time-to-trigger, same seeds across arms (paired).
+
+    The default values bracket NR's standardized TTT set (0, 160 ms,
+    480 ms).
+    """
+    if n_trials < 1:
+        raise ValueError(f"need >= 1 trial, got {n_trials!r}")
+    return {
+        f"ttt={int(round(value * 1000))}ms": [
+            run_pingpong_trial(value, seed=base_seed + k)
+            for k in range(n_trials)
+        ]
+        for value in ttt_s_values
+    }
+
+
+def summarize_pingpong(
+    sweep: Dict[str, List[PingPongTrialResult]]
+) -> List[dict]:
+    """One row per TTT arm."""
+    rows = []
+    for label, trials in sweep.items():
+        n = len(trials)
+        rows.append(
+            {
+                "label": label,
+                "mean_handovers": sum(t.handovers for t in trials) / n,
+                "mean_ping_pongs": sum(t.ping_pongs for t in trials) / n,
+                "trials_with_ping_pong": sum(
+                    1 for t in trials if t.ping_pongs > 0
+                ),
+            }
+        )
+    return rows

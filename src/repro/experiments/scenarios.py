@@ -1,0 +1,170 @@
+"""The paper's cell-edge testbed, as a simulator scenario.
+
+Geometry (meters)::
+
+        cellA (0,10)        cellB (20,10)        cellC (40,10)
+           |                    |                    |
+    ----------------- street (y = 0) ------------------->  x
+              mobile moves / rotates on the street
+
+The mobile operates at ~10-14 m from the base stations — the paper's
+"cell edge, 10 m from the base station" setting.  The A/B boundary
+(equal path loss) is at x = 10; the handover margin T is reached a
+couple of meters beyond it.
+
+Base stations transmit at 0 dBm (SDR-class EIRP before beamforming)
+through 20-degree beams; with the mobile's codebook gain this leaves a
+comfortable margin for narrow beams, a slimmer one for 60-degree wide
+beams, and puts a bare omni receiver right at the detection floor —
+reproducing the Fig. 2a success-rate ordering from first principles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.geometry.pose import Pose
+from repro.geometry.vectors import Vec3
+from repro.mobility.base import Trajectory
+from repro.mobility.rotation import DeviceRotation
+from repro.mobility.vehicular import VehicularDriveBy
+from repro.mobility.walk import HumanWalk
+from repro.net.base_station import BaseStation
+from repro.net.deployment import Deployment, DeploymentConfig
+from repro.net.mobile import Mobile
+from repro.phy.codebook import Codebook
+from repro.util.units import deg_per_s_to_rad_per_s, mph_to_mps
+
+#: Paper mobility parameters.
+WALK_SPEED_MPS = 1.4
+ROTATION_RATE_DEG_S = 120.0
+VEHICLE_SPEED_MPH = 20.0
+
+#: Scenario registry.
+SCENARIO_NAMES = ("walk", "rotation", "vehicular")
+
+#: Base-station grid.
+STATION_POSITIONS = {
+    "cellA": Vec3(0.0, 10.0),
+    "cellB": Vec3(20.0, 10.0),
+    "cellC": Vec3(40.0, 10.0),
+}
+#: SSB phase stagger keeps the three cells' bursts non-overlapping so a
+#: one-RF-chain mobile can visit all of them each period.
+STATION_PHASES_S = {"cellA": 0.000, "cellB": 0.005, "cellC": 0.010}
+
+BS_TX_POWER_DBM = 0.0
+BS_BEAMWIDTH_DEG = 20.0
+
+#: Mobile codebook kinds used across the figures.
+CODEBOOK_KINDS = ("narrow", "wide", "omni")
+
+
+def make_mobile_codebook(kind: str) -> Codebook:
+    """The mobile receive codebook for a Fig. 2a arm.
+
+    ``narrow`` = 20-degree beams (18 around the circle), ``wide`` =
+    60-degree (6 beams), ``omni`` = a single isotropic antenna.
+    """
+    if kind == "narrow":
+        return Codebook.uniform_azimuth(20.0, name="narrow-20deg")
+    if kind == "wide":
+        return Codebook.uniform_azimuth(60.0, name="wide-60deg")
+    if kind == "omni":
+        return Codebook.omni()
+    raise ValueError(f"unknown codebook kind {kind!r}; expected {CODEBOOK_KINDS}")
+
+
+def make_trajectory(
+    scenario: str,
+    rng=None,
+    start_x: Optional[float] = None,
+) -> Trajectory:
+    """The mobility model for one of the paper's scenarios.
+
+    Default starting points put the mobile just short of the A/B
+    handover boundary so a full soft-handover episode (search, track,
+    trigger, random access) plays out within a couple of seconds —
+    matching the regime Fig. 2c reports.
+    """
+    if scenario == "walk":
+        x0 = 10.0 if start_x is None else start_x
+        return HumanWalk(
+            Vec3(x0, 0.0),
+            Vec3(WALK_SPEED_MPS, 0.0),
+            rng=rng,
+        )
+    if scenario == "rotation":
+        x0 = 14.0 if start_x is None else start_x
+        return DeviceRotation(
+            Vec3(x0, 0.0),
+            deg_per_s_to_rad_per_s(ROTATION_RATE_DEG_S),
+            start_heading=0.0,
+            rng=rng,
+        )
+    if scenario == "vehicular":
+        x0 = 7.0 if start_x is None else start_x
+        return VehicularDriveBy(
+            Vec3(x0, 0.0),
+            heading_rad=0.0,
+            speed_mps=mph_to_mps(VEHICLE_SPEED_MPH),
+            rng=rng,
+        )
+    raise ValueError(f"unknown scenario {scenario!r}; expected {SCENARIO_NAMES}")
+
+
+def scenario_duration_s(scenario: str) -> float:
+    """Long enough for one full handover episode in each scenario."""
+    return {"walk": 10.0, "rotation": 8.0, "vehicular": 4.0}[scenario]
+
+
+def build_cell_edge_deployment(
+    seed: int,
+    mobile_codebook: str = "narrow",
+    scenario: str = "walk",
+    config: Optional[DeploymentConfig] = None,
+    n_cells: int = 3,
+    start_x: Optional[float] = None,
+) -> Tuple[Deployment, Mobile]:
+    """The paper's testbed: one mobile, three 60 GHz base stations.
+
+    Returns the (not yet started) deployment and the mobile.  The caller
+    attaches a protocol and runs the simulator.
+    """
+    if not 2 <= n_cells <= len(STATION_POSITIONS):
+        raise ValueError(
+            f"n_cells must be in [2, {len(STATION_POSITIONS)}], got {n_cells!r}"
+        )
+    base = config or DeploymentConfig()
+    deployment = Deployment(
+        DeploymentConfig(
+            master_seed=seed,
+            channel=base.channel,
+            frame=base.frame,
+            rach=base.rach,
+            trace_enabled=base.trace_enabled,
+        )
+    )
+    cell_ids = list(STATION_POSITIONS)[:n_cells]
+    for cell_id in cell_ids:
+        position = STATION_POSITIONS[cell_id]
+        deployment.add_station(
+            BaseStation(
+                cell_id,
+                # Base stations face the street (heading -y); with a full
+                # 360-degree codebook the heading only fixes beam indexing.
+                Pose(position, heading=-math.pi / 2.0),
+                Codebook.uniform_azimuth(BS_BEAMWIDTH_DEG, name=f"bs-{cell_id}"),
+                tx_power_dbm=BS_TX_POWER_DBM,
+                frame=base.frame,
+                ssb_phase_s=STATION_PHASES_S[cell_id],
+            )
+        )
+    trajectory = make_trajectory(
+        scenario, rng=deployment.rng.stream("mobility"), start_x=start_x
+    )
+    mobile = deployment.add_mobile(
+        Mobile("ue0", trajectory, make_mobile_codebook(mobile_codebook))
+    )
+    return deployment, mobile

@@ -1,0 +1,67 @@
+"""Azimuth angle arithmetic on the circle.
+
+Beam boresights, mobile headings, and bearings all live on the circle, so
+naive subtraction produces wrong distances across the ±π seam.  Every
+angle comparison in the library goes through these helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+TWO_PI = 2.0 * math.pi
+
+
+def wrap_to_pi(angle: float) -> float:
+    """Wrap an angle into ``(-pi, pi]``.
+
+    >>> wrap_to_pi(math.pi * 3)  # doctest: +ELLIPSIS
+    3.14159...
+    """
+    wrapped = math.fmod(angle + math.pi, TWO_PI)
+    if wrapped <= 0.0:
+        wrapped += TWO_PI
+    return wrapped - math.pi
+
+
+def wrap_to_two_pi(angle: float) -> float:
+    """Wrap an angle into ``[0, 2*pi)``."""
+    wrapped = math.fmod(angle, TWO_PI)
+    if wrapped < 0.0:
+        wrapped += TWO_PI
+    return wrapped
+
+
+def signed_angle_delta(target: float, source: float) -> float:
+    """Smallest signed rotation taking ``source`` onto ``target``.
+
+    Positive means counter-clockwise.  Result is in ``(-pi, pi]``.
+    """
+    return wrap_to_pi(target - source)
+
+
+def angular_distance(a: float, b: float) -> float:
+    """Unsigned circular distance between two angles, in ``[0, pi]``."""
+    return abs(signed_angle_delta(a, b))
+
+
+def angular_mean(angles: Iterable[float]) -> float:
+    """Circular mean of a collection of angles.
+
+    Computed via the mean resultant vector; raises :class:`ValueError`
+    when the resultant is (numerically) zero, i.e. the mean is undefined
+    (e.g. two opposite angles).
+    """
+    sin_sum = 0.0
+    cos_sum = 0.0
+    count = 0
+    for angle in angles:
+        sin_sum += math.sin(angle)
+        cos_sum += math.cos(angle)
+        count += 1
+    if count == 0:
+        raise ValueError("angular mean of empty collection")
+    if math.hypot(sin_sum, cos_sum) < 1e-12:
+        raise ValueError("angular mean undefined: zero resultant vector")
+    return math.atan2(sin_sum / count, cos_sum / count)

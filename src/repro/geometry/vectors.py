@@ -1,0 +1,115 @@
+"""Immutable 3-D vectors and derived quantities (distance, bearing).
+
+A tiny hand-rolled vector type keeps the hot per-measurement geometry
+path free of numpy array-allocation overhead; bulk math elsewhere uses
+numpy directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable 3-D vector / point in world coordinates (meters)."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    ZERO: "Vec3" = None  # populated after class definition
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def dot(self, other: "Vec3") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        """Cross product (right-handed)."""
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+
+    def norm_xy(self) -> float:
+        """Length of the horizontal (xy) projection."""
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Vec3":
+        """Unit vector in the same direction; raises on the zero vector."""
+        length = self.norm()
+        if length == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return self / length
+
+    def distance_to(self, other: "Vec3") -> float:
+        """Euclidean distance to another point."""
+        return (self - other).norm()
+
+    def azimuth(self) -> float:
+        """Azimuth of this vector in the xy plane, CCW from +x, in (-pi, pi].
+
+        Raises :class:`ValueError` when the horizontal projection is zero
+        (azimuth undefined for purely vertical vectors).
+        """
+        if self.x == 0.0 and self.y == 0.0:
+            raise ValueError("azimuth undefined for vector with zero xy projection")
+        return math.atan2(self.y, self.x)
+
+    def rotated_z(self, angle: float) -> "Vec3":
+        """This vector rotated by ``angle`` radians CCW about the z axis."""
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        return Vec3(
+            self.x * cos_a - self.y * sin_a,
+            self.x * sin_a + self.y * cos_a,
+            self.z,
+        )
+
+    @staticmethod
+    def from_polar_xy(radius: float, azimuth: float, z: float = 0.0) -> "Vec3":
+        """Build a vector from horizontal polar coordinates."""
+        return Vec3(radius * math.cos(azimuth), radius * math.sin(azimuth), z)
+
+
+# The canonical zero vector, shared.  Class-attribute assignment goes
+# through type.__setattr__, which frozen dataclasses do not block.
+Vec3.ZERO = Vec3(0.0, 0.0, 0.0)
+
+
+def distance(a: Vec3, b: Vec3) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def bearing_xy(src: Vec3, dst: Vec3) -> float:
+    """World-frame azimuth of the line of sight from ``src`` to ``dst``.
+
+    This is the direction a transmitter at ``src`` must point to face a
+    receiver at ``dst``.  Raises :class:`ValueError` when the two points
+    are horizontally coincident.
+    """
+    return (dst - src).azimuth()

@@ -1,0 +1,17 @@
+"""Measurement layer: RSS reports, protocol-facing filters, beam tables.
+
+Everything Silent Tracker knows about the world arrives through this
+package: timestamped RSS measurements per (cell, tx-beam, rx-beam)
+dwell, smoothed and compared against the protocol's dB thresholds.
+"""
+
+from repro.measure.filters import DropDetector, HysteresisTrigger
+from repro.measure.report import RssMeasurement
+from repro.measure.beam_table import BeamQualityTable
+
+__all__ = [
+    "BeamQualityTable",
+    "DropDetector",
+    "HysteresisTrigger",
+    "RssMeasurement",
+]

@@ -1,0 +1,103 @@
+"""Per-cell beam quality table.
+
+During search and tracking the mobile accumulates dwell results per
+receive beam; the table answers "which receive beam is currently best
+for this cell and how fresh is that knowledge?".  Entries age out:
+under mobility a measurement older than a staleness horizon says nothing
+about the present geometry (a 120 deg/s rotation moves a 20-degree beam
+completely off target in ~170 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.measure.report import RssMeasurement
+
+
+@dataclass(frozen=True)
+class BeamTableEntry:
+    """Latest knowledge about one receive beam toward one cell."""
+
+    rx_beam: int
+    tx_beam: Optional[int]
+    rss_dbm: float
+    time_s: float
+
+
+class BeamQualityTable:
+    """Freshness-aware map of receive beam -> last detected RSS.
+
+    Parameters
+    ----------
+    staleness_s:
+        Entries older than this (relative to query time) are ignored.
+    """
+
+    def __init__(self, staleness_s: float = 0.5) -> None:
+        if staleness_s <= 0.0:
+            raise ValueError(f"staleness must be positive, got {staleness_s!r}")
+        self.staleness_s = staleness_s
+        self._entries: Dict[int, BeamTableEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, measurement: RssMeasurement) -> None:
+        """Store a detection (non-detections clear the beam's entry).
+
+        A failed dwell is information: the beam no longer hears the
+        cell, so keeping its old RSS would let stale data win
+        :meth:`best`.
+        """
+        if measurement.detected:
+            self._entries[measurement.rx_beam] = BeamTableEntry(
+                measurement.rx_beam,
+                measurement.tx_beam,
+                measurement.rss_dbm,
+                measurement.time_s,
+            )
+        else:
+            self._entries.pop(measurement.rx_beam, None)
+
+    def entry(self, rx_beam: int, now_s: float) -> Optional[BeamTableEntry]:
+        """Fresh entry for a beam, or ``None`` (missing or stale)."""
+        entry = self._entries.get(rx_beam)
+        if entry is None or now_s - entry.time_s > self.staleness_s:
+            return None
+        return entry
+
+    def best(self, now_s: float) -> Optional[BeamTableEntry]:
+        """Freshest-valid entry with the highest RSS, or ``None``."""
+        candidates = [
+            entry
+            for entry in self._entries.values()
+            if now_s - entry.time_s <= self.staleness_s
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda e: (e.rss_dbm, -e.time_s))
+
+    def fresh_entries(self, now_s: float) -> List[BeamTableEntry]:
+        """All non-stale entries, best first."""
+        candidates = [
+            entry
+            for entry in self._entries.values()
+            if now_s - entry.time_s <= self.staleness_s
+        ]
+        return sorted(candidates, key=lambda e: e.rss_dbm, reverse=True)
+
+    def purge_stale(self, now_s: float) -> int:
+        """Remove stale entries; returns how many were dropped."""
+        stale = [
+            beam
+            for beam, entry in self._entries.items()
+            if now_s - entry.time_s > self.staleness_s
+        ]
+        for beam in stale:
+            del self._entries[beam]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

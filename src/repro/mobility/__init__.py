@@ -1,0 +1,37 @@
+"""Mobility models reproducing the paper's three scenarios.
+
+Every model is a :class:`~repro.mobility.base.Trajectory`: a pure
+function from simulated time to :class:`~repro.geometry.pose.Pose`.
+Purity matters — the channel and protocol layers may evaluate the pose
+at arbitrary times, and a trajectory must return identical poses for
+identical times regardless of query order.  Stochastic "texture" (gait
+sway, hand tremor) is therefore synthesized from fixed random phases
+drawn once at construction.
+
+Paper scenarios:
+
+* Human walk — ``v = 1.4 m/s`` at 10 m from the base station
+  (:class:`~repro.mobility.walk.HumanWalk`).
+* Device rotation — ``omega = 120 deg/s``
+  (:class:`~repro.mobility.rotation.DeviceRotation`).
+* Vehicular — 20 mph drive-by
+  (:class:`~repro.mobility.vehicular.VehicularDriveBy`).
+"""
+
+from repro.mobility.base import StaticPose, TimeShifted, Trajectory
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.rotation import DeviceRotation
+from repro.mobility.vehicular import VehicularDriveBy
+from repro.mobility.walk import HumanWalk
+from repro.mobility.waypoint import WaypointPath
+
+__all__ = [
+    "DeviceRotation",
+    "HumanWalk",
+    "RandomWaypoint",
+    "StaticPose",
+    "TimeShifted",
+    "Trajectory",
+    "VehicularDriveBy",
+    "WaypointPath",
+]

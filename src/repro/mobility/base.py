@@ -1,0 +1,73 @@
+"""Trajectory interface and trivial implementations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.geometry.pose import Pose
+from repro.geometry.vectors import Vec3
+
+
+class Trajectory(ABC):
+    """A pure function from time to pose.
+
+    Implementations must be deterministic: ``pose_at(t)`` returns the
+    same pose for the same ``t`` no matter how many times or in what
+    order it is called.
+    """
+
+    @abstractmethod
+    def pose_at(self, time_s: float) -> Pose:
+        """Pose at simulated time ``time_s`` (seconds, may be any >= 0)."""
+
+    def position_at(self, time_s: float) -> Vec3:
+        """Convenience accessor for just the position."""
+        return self.pose_at(time_s).position
+
+    def heading_at(self, time_s: float) -> float:
+        """Convenience accessor for just the heading."""
+        return self.pose_at(time_s).heading
+
+    def average_speed_mps(self, t0: float, t1: float, steps: int = 64) -> float:
+        """Mean translational speed over ``[t0, t1]`` by arc sampling.
+
+        Diagnostic helper used by scenario tests to confirm a model moves
+        at its nominal speed.
+        """
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0!r}, {t1!r}]")
+        if steps < 1:
+            raise ValueError(f"need >= 1 step, got {steps!r}")
+        total = 0.0
+        previous = self.position_at(t0)
+        for k in range(1, steps + 1):
+            current = self.position_at(t0 + (t1 - t0) * k / steps)
+            total += previous.distance_to(current)
+            previous = current
+        return total / (t1 - t0)
+
+
+class StaticPose(Trajectory):
+    """A node that never moves (base stations, parked devices)."""
+
+    def __init__(self, pose: Pose) -> None:
+        self._pose = pose
+
+    def pose_at(self, time_s: float) -> Pose:
+        return self._pose
+
+
+class TimeShifted(Trajectory):
+    """Wraps another trajectory with a time offset.
+
+    ``TimeShifted(inner, 5.0).pose_at(t) == inner.pose_at(t - 5.0)``
+    (clamped at the inner trajectory's origin).  Experiment runners use
+    this to start a canned motion mid-run.
+    """
+
+    def __init__(self, inner: Trajectory, offset_s: float) -> None:
+        self._inner = inner
+        self._offset_s = offset_s
+
+    def pose_at(self, time_s: float) -> Pose:
+        return self._inner.pose_at(max(0.0, time_s - self._offset_s))

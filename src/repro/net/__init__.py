@@ -1,0 +1,33 @@
+"""Network substrate: base stations, mobiles, links, random access, handover.
+
+This package turns the PHY substrate into running network machinery:
+base stations sweep SSB bursts on the simulator's event loop, the mobile
+holds one receive beam per burst and feeds the resulting measurements to
+its attached protocol, uplink messages succeed or fail on the link
+budget, and the four-step random-access procedure plays out in simulated
+time.  Soft vs. hard handover is decided by what the protocol managed to
+keep aligned when the serving link finally failed.
+"""
+
+from repro.net.base_station import BaseStation
+from repro.net.connection import ConnectionContext, ConnectionState
+from repro.net.deployment import Deployment, DeploymentConfig
+from repro.net.handover import HandoverOutcome, HandoverRecord
+from repro.net.link_engine import LinkEngine
+from repro.net.mobile import BurstListener, Mobile
+from repro.net.random_access import RandomAccessProcedure, RachOutcome
+
+__all__ = [
+    "BaseStation",
+    "BurstListener",
+    "ConnectionContext",
+    "ConnectionState",
+    "Deployment",
+    "DeploymentConfig",
+    "HandoverOutcome",
+    "HandoverRecord",
+    "LinkEngine",
+    "Mobile",
+    "RachOutcome",
+    "RandomAccessProcedure",
+]

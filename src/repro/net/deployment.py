@@ -1,0 +1,132 @@
+"""Deployment: wires stations, mobiles, channel and clock together.
+
+One :class:`Deployment` owns everything a run needs — simulator, RNG
+registry, channel, link engine, trace, metrics — and drives SSB burst
+delivery from each base station to each mobile via drift-free periodic
+tasks.  Experiment runners construct a fresh deployment per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.base_station import BaseStation
+from repro.net.link_engine import LinkEngine
+from repro.net.mobile import Mobile
+from repro.phy.channel import Channel, ChannelConfig
+from repro.phy.frame import FrameConfig, RachConfig
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Run-wide configuration shared by all nodes."""
+
+    master_seed: int = 1
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    frame: FrameConfig = field(default_factory=FrameConfig)
+    rach: RachConfig = field(default_factory=RachConfig)
+    trace_enabled: bool = True
+
+
+class Deployment:
+    """A bound set of nodes sharing one channel and one clock."""
+
+    def __init__(self, config: Optional[DeploymentConfig] = None) -> None:
+        self.config = config or DeploymentConfig()
+        self.sim = Simulator()
+        self.rng = RngRegistry(self.config.master_seed)
+        self.channel = Channel(self.config.channel, self.rng)
+        self.links = LinkEngine(self.channel, self.rng)
+        self.trace = TraceRecorder(enabled=self.config.trace_enabled)
+        self.metrics = MetricsRecorder()
+        self._stations: Dict[str, BaseStation] = {}
+        self._mobiles: Dict[str, Mobile] = {}
+        self._burst_tasks: List[PeriodicTask] = []
+        self._started = False
+
+    # -------------------------------------------------------------- topology
+    def add_station(self, station: BaseStation) -> BaseStation:
+        """Register a base station (before :meth:`start`)."""
+        if self._started:
+            raise RuntimeError("cannot add stations after start()")
+        if station.cell_id in self._stations:
+            raise ValueError(f"duplicate cell id {station.cell_id!r}")
+        self._stations[station.cell_id] = station
+        return station
+
+    def add_mobile(self, mobile: Mobile) -> Mobile:
+        """Register a mobile (before :meth:`start`)."""
+        if self._started:
+            raise RuntimeError("cannot add mobiles after start()")
+        if mobile.mobile_id in self._mobiles:
+            raise ValueError(f"duplicate mobile id {mobile.mobile_id!r}")
+        self._mobiles[mobile.mobile_id] = mobile
+        return mobile
+
+    def station(self, cell_id: str) -> BaseStation:
+        try:
+            return self._stations[cell_id]
+        except KeyError:
+            raise KeyError(f"unknown cell {cell_id!r}") from None
+
+    def mobile(self, mobile_id: str) -> Mobile:
+        try:
+            return self._mobiles[mobile_id]
+        except KeyError:
+            raise KeyError(f"unknown mobile {mobile_id!r}") from None
+
+    @property
+    def stations(self) -> List[BaseStation]:
+        return list(self._stations.values())
+
+    @property
+    def mobiles(self) -> List[Mobile]:
+        return list(self._mobiles.values())
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Begin SSB burst delivery for every station.
+
+        Each station gets a drift-free periodic task at the SSB period,
+        phase-offset per its schedule; every burst is offered to every
+        mobile (the mobile's RF-chain arbitration decides what actually
+        gets measured).
+        """
+        if self._started:
+            raise RuntimeError("deployment already started")
+        self._started = True
+        for station in self._stations.values():
+            self._burst_tasks.append(
+                PeriodicTask(
+                    self.sim,
+                    station.frame.ssb_period_s,
+                    self._make_burst_handler(station),
+                    start_delay=station.schedule.phase_s,
+                    label=f"ssb.{station.cell_id}",
+                )
+            )
+
+    def _make_burst_handler(self, station: BaseStation):
+        def handle_burst() -> None:
+            self.metrics.incr(f"bursts.{station.cell_id}")
+            for mobile in self._mobiles.values():
+                mobile.deliver_burst(station, self.links, self.sim.now)
+
+        return handle_burst
+
+    def run(self, duration_s: float) -> None:
+        """Start (if needed) and advance simulated time by ``duration_s``."""
+        if not self._started:
+            self.start()
+        self.sim.run_until(self.sim.now + duration_s)
+
+    def stop(self) -> None:
+        """Stop all burst tasks (the simulator itself can keep running)."""
+        for task in self._burst_tasks:
+            task.stop()
+        self._burst_tasks.clear()

@@ -1,0 +1,209 @@
+"""Link engine: binds nodes, beams and the channel into dwell outcomes.
+
+The single place where geometry, codebooks and the statistical channel
+meet.  Three operations cover everything the protocols need:
+
+* :meth:`LinkEngine.measure_burst` — the mobile holds one receive beam
+  through a cell's SSB burst; the engine evaluates every transmit dwell
+  and reports the best detected SSB (or a non-detection).
+* :meth:`LinkEngine.downlink_rss` — RSS of a single directed downlink
+  transmission (msg2/msg4, serving data) on given beams.
+* :meth:`LinkEngine.uplink_success` — Bernoulli decode of an uplink
+  message (BeamSurfer switch request, RACH preamble, msg3) using beam
+  reciprocity: the mobile transmits on the antenna weights of its
+  current receive beam, the base station listens on its serving/detected
+  beam.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.pose import Pose
+from repro.measure.report import RssMeasurement
+from repro.net.base_station import BaseStation
+from repro.phy.channel import Channel
+from repro.sim.rng import RngRegistry
+
+
+class LinkEngine:
+    """Evaluates dwell/message outcomes over the shared channel."""
+
+    def __init__(self, channel: Channel, rng_registry: RngRegistry) -> None:
+        self.channel = channel
+        self._uplink_rng: np.random.Generator = rng_registry.stream("uplink")
+        #: Uplink transmit power of the mobile, dBm.  Handsets run well
+        #: below the base station's EIRP.
+        self.mobile_tx_power_dbm = 5.0
+
+    @staticmethod
+    def link_id(cell_id: str, mobile_id: str) -> str:
+        """Canonical per-(cell, mobile) channel-state key.
+
+        Up/downlink share one id: large-scale fading is reciprocal.
+        """
+        return f"{cell_id}|{mobile_id}"
+
+    # -------------------------------------------------------------- downlink
+    def measure_burst(
+        self,
+        station: BaseStation,
+        mobile_id: str,
+        mobile_pose: Pose,
+        rx_gain_fn,
+        rx_beam: int,
+        time_s: float,
+        detection_snr_db: Optional[float] = None,
+    ) -> RssMeasurement:
+        """Evaluate one SSB burst heard with a fixed receive beam.
+
+        Parameters
+        ----------
+        rx_gain_fn:
+            ``f(rx_beam, world_azimuth) -> dBi`` — the mobile's receive
+            gain toward a world-frame azimuth (accounts for device
+            heading).
+        detection_snr_db:
+            Override of the station link budget's detection threshold.
+
+        Returns the best-detected SSB as a measurement; tx_beam/rss are
+        ``None`` when no dwell cleared the detection threshold.
+        """
+        budget = station.link_budget
+        threshold = (
+            budget.detection_snr_db if detection_snr_db is None else detection_snr_db
+        )
+        bearing_to_mobile = station.pose.bearing_to(mobile_pose.position)
+        bearing_to_station = mobile_pose.bearing_to(station.pose.position)
+        rx_gain = rx_gain_fn(rx_beam, bearing_to_station)
+        link = self.link_id(station.cell_id, mobile_id)
+        best_rss: Optional[float] = None
+        best_tx: Optional[int] = None
+        for tx_beam in station.schedule.beams_in_burst():
+            tx_gain = station.tx_gain_dbi(tx_beam, bearing_to_mobile)
+            # Dwells within a burst are microseconds apart; geometry and
+            # large-scale state are evaluated at the burst timestamp, but
+            # each dwell draws its own small-scale fade.
+            rss = self.channel.rss_dbm(
+                link,
+                time_s,
+                station.pose,
+                mobile_pose,
+                tx_gain,
+                rx_gain,
+                station.tx_power_dbm,
+            )
+            if budget.snr_db(rss) < threshold:
+                continue
+            if best_rss is None or rss > best_rss:
+                best_rss = rss
+                best_tx = tx_beam
+        if best_rss is None:
+            return RssMeasurement(time_s, station.cell_id, rx_beam)
+        return RssMeasurement(
+            time_s,
+            station.cell_id,
+            rx_beam,
+            tx_beam=best_tx,
+            rss_dbm=best_rss,
+            snr_db=budget.snr_db(best_rss),
+        )
+
+    def downlink_rss(
+        self,
+        station: BaseStation,
+        mobile_id: str,
+        mobile_pose: Pose,
+        rx_gain_fn,
+        rx_beam: int,
+        tx_beam: int,
+        time_s: float,
+    ) -> float:
+        """RSS of one directed downlink transmission on specific beams."""
+        bearing_to_mobile = station.pose.bearing_to(mobile_pose.position)
+        bearing_to_station = mobile_pose.bearing_to(station.pose.position)
+        tx_gain = station.tx_gain_dbi(tx_beam, bearing_to_mobile)
+        rx_gain = rx_gain_fn(rx_beam, bearing_to_station)
+        return self.channel.rss_dbm(
+            self.link_id(station.cell_id, mobile_id),
+            time_s,
+            station.pose,
+            mobile_pose,
+            tx_gain,
+            rx_gain,
+            station.tx_power_dbm,
+        )
+
+    def downlink_success(
+        self,
+        station: BaseStation,
+        mobile_id: str,
+        mobile_pose: Pose,
+        rx_gain_fn,
+        rx_beam: int,
+        tx_beam: int,
+        time_s: float,
+    ) -> bool:
+        """Bernoulli decode of a directed downlink control message."""
+        rss = self.downlink_rss(
+            station, mobile_id, mobile_pose, rx_gain_fn, rx_beam, tx_beam, time_s
+        )
+        probability = station.link_budget.packet_success_probability(rss)
+        return bool(self._uplink_rng.random() < probability)
+
+    # ---------------------------------------------------------------- uplink
+    def uplink_rss(
+        self,
+        station: BaseStation,
+        mobile_id: str,
+        mobile_pose: Pose,
+        rx_gain_fn,
+        mobile_beam: int,
+        station_beam: int,
+        time_s: float,
+    ) -> float:
+        """RSS at the base station of an uplink message.
+
+        Beam reciprocity: the mobile's receive pattern doubles as its
+        transmit pattern, and likewise at the base station.
+        """
+        bearing_to_mobile = station.pose.bearing_to(mobile_pose.position)
+        bearing_to_station = mobile_pose.bearing_to(station.pose.position)
+        mobile_gain = rx_gain_fn(mobile_beam, bearing_to_station)
+        station_gain = station.tx_gain_dbi(station_beam, bearing_to_mobile)
+        return self.channel.rss_dbm(
+            self.link_id(station.cell_id, mobile_id),
+            time_s,
+            mobile_pose,
+            station.pose,
+            mobile_gain,
+            station_gain,
+            self.mobile_tx_power_dbm,
+        )
+
+    def uplink_success(
+        self,
+        station: BaseStation,
+        mobile_id: str,
+        mobile_pose: Pose,
+        rx_gain_fn,
+        mobile_beam: int,
+        station_beam: int,
+        time_s: float,
+        extra_margin_db: float = 0.0,
+    ) -> bool:
+        """Bernoulli decode of an uplink message at the base station.
+
+        ``extra_margin_db`` models preamble processing gain for RACH
+        msg1 (long correlation sequences decode below the data
+        threshold).
+        """
+        rss = self.uplink_rss(
+            station, mobile_id, mobile_pose, rx_gain_fn, mobile_beam, station_beam, time_s
+        )
+        probability = station.link_budget.packet_success_probability(
+            rss + extra_margin_db
+        )
+        return bool(self._uplink_rng.random() < probability)

@@ -1,0 +1,149 @@
+"""Mobile node: one RF chain, a body-frame receive codebook, a protocol.
+
+The mobile is deliberately thin: all beam-management intelligence lives
+in the attached :class:`BurstListener` (Silent Tracker or a baseline).
+The mobile contributes exactly the physical constraints the paper's
+hardware imposes:
+
+* **One RF chain** — it can hold one receive beam at a time; bursts of
+  different cells that overlap in time conflict, and the loser is
+  skipped (counted, so experiments can report the measurement-budget
+  pressure).
+* **Body-frame beams** — receive gain toward a world azimuth depends on
+  the device heading at that instant, which is how rotation stresses
+  tracking without any translation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.geometry.pose import Pose
+from repro.measure.report import RssMeasurement
+from repro.mobility.base import Trajectory
+from repro.net.base_station import BaseStation
+from repro.net.connection import ConnectionContext
+from repro.phy.codebook import Codebook
+
+
+class BurstListener(Protocol):
+    """What a beam-management protocol must implement to drive a mobile."""
+
+    def choose_rx_beam(self, cell_id: str, now_s: float) -> Optional[int]:
+        """Receive beam to hold for this cell's burst, or None to skip."""
+        ...
+
+    def on_measurement(self, measurement: RssMeasurement) -> None:
+        """Deliver the outcome of a burst dwell previously requested."""
+        ...
+
+
+class Mobile:
+    """A mm-wave handset with a steerable receive codebook."""
+
+    def __init__(
+        self,
+        mobile_id: str,
+        trajectory: Trajectory,
+        codebook: Codebook,
+    ) -> None:
+        if not mobile_id:
+            raise ValueError("mobile_id must be non-empty")
+        self.mobile_id = mobile_id
+        self.trajectory = trajectory
+        self.codebook = codebook
+        self.connection = ConnectionContext()
+        self._listener: Optional[BurstListener] = None
+        self._busy_until_s = -1.0
+        #: Bursts skipped because the single RF chain was occupied.
+        self.bursts_skipped_busy = 0
+        #: Bursts skipped because the listener declined a beam.
+        self.bursts_declined = 0
+        #: Bursts actually measured.
+        self.bursts_measured = 0
+
+    # -------------------------------------------------------------- wiring
+    def attach_listener(self, listener: BurstListener) -> None:
+        """Install the beam-management protocol driving this mobile."""
+        self._listener = listener
+
+    @property
+    def listener(self) -> Optional[BurstListener]:
+        return self._listener
+
+    # ------------------------------------------------------------ geometry
+    def pose_at(self, time_s: float) -> Pose:
+        """Current pose from the mobility model."""
+        return self.trajectory.pose_at(time_s)
+
+    def rx_gain_fn(self, time_s: float) -> Callable[[int, float], float]:
+        """Receive-gain function bound to the pose at ``time_s``.
+
+        Returns ``f(rx_beam, world_azimuth) -> dBi``; the device heading
+        at ``time_s`` is baked in so the link engine needs no knowledge
+        of body frames.
+        """
+        pose = self.pose_at(time_s)
+
+        def gain(rx_beam: int, world_azimuth: float) -> float:
+            return self.codebook.gain_dbi(rx_beam, pose.world_to_body(world_azimuth))
+
+        return gain
+
+    def best_rx_beam_towards(self, station: BaseStation, time_s: float) -> int:
+        """Genie helper: codebook beam best pointed at a station *now*.
+
+        Used by oracle baselines and tests, never by the in-band
+        protocols (which must discover beams from measurements alone).
+        """
+        pose = self.pose_at(time_s)
+        body_azimuth = pose.body_bearing_to(station.pose.position)
+        return self.codebook.best_beam_towards(body_azimuth).index
+
+    # ---------------------------------------------------------------- radio
+    def radio_busy(self, now_s: float) -> bool:
+        """Whether the RF chain is still occupied by an earlier dwell."""
+        return now_s < self._busy_until_s
+
+    def occupy_radio(self, now_s: float, duration_s: float) -> None:
+        """Mark the RF chain busy for ``duration_s`` starting at ``now_s``."""
+        if duration_s < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration_s!r}")
+        self._busy_until_s = max(self._busy_until_s, now_s + duration_s)
+
+    def deliver_burst(
+        self,
+        station: BaseStation,
+        link_engine,
+        now_s: float,
+    ) -> Optional[RssMeasurement]:
+        """Handle one SSB burst from ``station`` (called by the deployment).
+
+        Applies the single-RF-chain arbitration, asks the listener for a
+        receive beam, performs the dwell, and feeds the result back to
+        the listener.  Returns the measurement when one was made.
+        """
+        if self._listener is None:
+            return None
+        if self.radio_busy(now_s):
+            self.bursts_skipped_busy += 1
+            return None
+        rx_beam = self._listener.choose_rx_beam(station.cell_id, now_s)
+        if rx_beam is None:
+            self.bursts_declined += 1
+            return None
+        self.occupy_radio(now_s, station.schedule.burst_duration_s())
+        measurement = link_engine.measure_burst(
+            station,
+            self.mobile_id,
+            self.pose_at(now_s),
+            self.rx_gain_fn(now_s),
+            rx_beam,
+            now_s,
+        )
+        self.bursts_measured += 1
+        self._listener.on_measurement(measurement)
+        return measurement
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mobile({self.mobile_id}, {len(self.codebook)} beams)"

@@ -1,0 +1,125 @@
+"""Large-scale path-loss models for the 60 GHz band.
+
+The close-in (CI) free-space-reference model is the standard mm-wave
+measurement-campaign fit::
+
+    PL(d) = FSPL(d0=1m, f) + 10 * n * log10(d / 1m)
+
+with path-loss exponent ``n ~= 2.0-2.1`` for LoS and ``~3.2`` NLoS at
+60 GHz.  The paper's experiments are line-of-sight at ~10 m, with NLoS
+excursions caused by blockage, which we model separately
+(:mod:`repro.phy.blockage`) as a time-varying excess loss.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+#: Speed of light, m/s.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def fspl_db(distance_m: float, frequency_hz: float) -> float:
+    """Free-space path loss (Friis), dB.
+
+    >>> round(fspl_db(1.0, 60e9), 1)
+    68.0
+    """
+    if distance_m <= 0.0:
+        raise ValueError(f"distance must be positive, got {distance_m!r}")
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength)
+
+
+class PathLossModel(ABC):
+    """Distance-dependent mean path loss."""
+
+    @abstractmethod
+    def path_loss_db(self, distance_m: float) -> float:
+        """Mean path loss in dB at ``distance_m`` meters."""
+
+
+class FreeSpacePathLoss(PathLossModel):
+    """Pure Friis free-space loss at a fixed carrier frequency."""
+
+    def __init__(self, frequency_hz: float) -> None:
+        if frequency_hz <= 0.0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+        self.frequency_hz = frequency_hz
+
+    def path_loss_db(self, distance_m: float) -> float:
+        return fspl_db(distance_m, self.frequency_hz)
+
+
+class CloseInPathLoss(PathLossModel):
+    """CI model: 1 m free-space intercept plus a fitted distance exponent.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Carrier frequency (60 GHz for the paper's testbed).
+    exponent:
+        Path-loss exponent ``n``.  2.0 = free space; 60 GHz LoS campaigns
+        report 2.0-2.1, NLoS ~3.2.
+    min_distance_m:
+        Distances below this are clamped; the CI model is not defined
+        inside the reference distance and nodes never get that close in
+        the paper's scenarios.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 60.0e9,
+        exponent: float = 2.1,
+        min_distance_m: float = 1.0,
+    ) -> None:
+        if exponent <= 0.0:
+            raise ValueError(f"exponent must be positive, got {exponent!r}")
+        if min_distance_m <= 0.0:
+            raise ValueError(f"min_distance must be positive, got {min_distance_m!r}")
+        self.frequency_hz = frequency_hz
+        self.exponent = exponent
+        self.min_distance_m = min_distance_m
+        self._intercept_db = fspl_db(1.0, frequency_hz)
+
+    @property
+    def intercept_db(self) -> float:
+        """Free-space loss at the 1 m reference distance."""
+        return self._intercept_db
+
+    def path_loss_db(self, distance_m: float) -> float:
+        distance = max(distance_m, self.min_distance_m)
+        return self._intercept_db + 10.0 * self.exponent * math.log10(distance)
+
+
+class DualSlopePathLoss(PathLossModel):
+    """Two-exponent model with a breakpoint distance.
+
+    Included for the ablation benches: beyond the breakpoint (e.g. the
+    edge of the LoS corridor) loss steepens, which sharpens the cell-edge
+    RSS gradient and stresses the handover trigger.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 60.0e9,
+        near_exponent: float = 2.0,
+        far_exponent: float = 3.5,
+        breakpoint_m: float = 15.0,
+    ) -> None:
+        if breakpoint_m <= 1.0:
+            raise ValueError(f"breakpoint must exceed 1 m, got {breakpoint_m!r}")
+        self._near = CloseInPathLoss(frequency_hz, near_exponent)
+        self.far_exponent = far_exponent
+        self.breakpoint_m = breakpoint_m
+        self._loss_at_break = self._near.path_loss_db(breakpoint_m)
+
+    def path_loss_db(self, distance_m: float) -> float:
+        if distance_m <= self.breakpoint_m:
+            return self._near.path_loss_db(distance_m)
+        return self._loss_at_break + 10.0 * self.far_exponent * math.log10(
+            distance_m / self.breakpoint_m
+        )

@@ -1,0 +1,293 @@
+"""Deterministic discrete-event simulation engine.
+
+Design goals, in priority order:
+
+1. **Determinism** — events scheduled for the same timestamp fire in
+   scheduling order (a monotone sequence number breaks ties), so a run is
+   a pure function of its configuration and master seed.
+2. **Simplicity** — callbacks, not coroutines.  Protocol state machines
+   in this codebase are explicit objects; they do not need generator
+   processes, and plain callbacks keep stack traces readable.
+3. **Cancelability** — timers (RACH response windows, handover guards)
+   need to be cancelable without O(n) heap surgery; cancellation is a
+   lazy tombstone flag.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Instances are handles: hold one to :meth:`cancel` the event before it
+    fires.  Events compare by ``(time, seq)`` so the heap ordering is total
+    and deterministic.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "label", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        label: str,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self.time:.6f}, label={self.label!r}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic same-time ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        # Cancelled tombstones still in the heap are counted; len() is a
+        # cheap upper bound used only for progress/termination checks.
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+    ) -> Event:
+        """Add an event; returns its handle."""
+        event = Event(time, next(self._counter), callback, args, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class Simulator:
+    """Event loop and simulated clock.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(0.02, burst_handler)
+        sim.run_until(2.0)
+
+    Time is in **seconds** of simulated time.  The engine never consults
+    the wall clock.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+        self._stop_requested = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of callbacks executed so far (diagnostic)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Upper bound on the number of events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        A zero delay is allowed (fires after currently-executing event,
+        before time advances); negative delays are an error.
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay!r}")
+        if math.isnan(delay) or math.isinf(delay):
+            raise SimulationError(f"delay must be finite, got {delay!r}")
+        return self._queue.push(self._now + delay, callback, args, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self._now!r}"
+            )
+        return self._queue.push(time, callback, args, label)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event returns."""
+        self._stop_requested = True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Run events in order until simulated time reaches ``end_time``.
+
+        The clock is left exactly at ``end_time`` even when the queue
+        drains early, so periodic post-run bookkeeping sees a consistent
+        time base.  ``max_events`` guards against runaway self-scheduling
+        loops in tests.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time!r} is before current time {self._now!r}"
+            )
+        if self._running:
+            raise SimulationError("run_until is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        fired_this_run = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_fired += 1
+                fired_this_run += 1
+                if max_events is not None and fired_this_run >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before {end_time}s"
+                    )
+        finally:
+            self._running = False
+        if not self._stop_requested:
+            self._now = max(self._now, end_time)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        fired = 0
+        while True:
+            event = self._queue.pop()
+            if event is None:
+                return
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_fired += 1
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+
+
+class PeriodicTask:
+    """Self-rescheduling periodic callback with drift-free timing.
+
+    Fires at ``start + k * period`` for k = 0, 1, 2, ... until
+    :meth:`stop` is called.  Used for SSB burst schedules and measurement
+    ticks.  Firing times are computed from the initial phase rather than
+    accumulated, so long runs do not drift.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        start_delay: float = 0.0,
+        label: str = "periodic",
+    ) -> None:
+        if period <= 0.0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._tick = 0
+        self._origin = sim.now + start_delay
+        self._stopped = False
+        self._pending: Optional[Event] = sim.schedule(
+            start_delay, self._fire, label=label
+        )
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def ticks_fired(self) -> int:
+        return self._tick
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._pending = None
+        self._callback()
+        if self._stopped:
+            return
+        self._tick += 1
+        next_time = self._origin + self._tick * self._period
+        # Guard against callbacks that consumed simulated time themselves
+        # (they should not, but a clamped reschedule beats a crash).
+        delay = max(0.0, next_time - self._sim.now)
+        self._pending = self._sim.schedule(delay, self._fire, label=self._label)
+
+    def stop(self) -> None:
+        """Stop firing.  Safe to call from within the callback."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None

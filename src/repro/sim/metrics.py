@@ -1,0 +1,93 @@
+"""Run-level metrics: counters, gauges and timestamped sample series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.numerics import RunningStats
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One timestamped metric sample."""
+
+    time: float
+    value: float
+
+
+class MetricsRecorder:
+    """Collects counters, gauges and sample series during a run.
+
+    Separate from :class:`~repro.sim.trace.TraceRecorder`: traces capture
+    *what happened* (qualitative protocol events), metrics capture *how
+    much / how long* (quantitative aggregates the benchmarks report).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._series: Dict[str, List[Sample]] = {}
+        self._stats: Dict[str, RunningStats] = {}
+
+    # ---------------------------------------------------------------- counters
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` (created at zero on first use)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current counter value; zero when never incremented."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------ gauges
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last-write-wins)."""
+        self._gauges[name] = value
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current gauge value, or ``None`` when never set."""
+        return self._gauges.get(name)
+
+    # ------------------------------------------------------------------ series
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append a timestamped sample to series ``name``.
+
+        Also feeds an online :class:`RunningStats` so summaries do not
+        require a second pass.
+        """
+        self._series.setdefault(name, []).append(Sample(time, value))
+        self._stats.setdefault(name, RunningStats()).push(value)
+
+    def series(self, name: str) -> List[Sample]:
+        """All samples of a series, in insertion order."""
+        return list(self._series.get(name, []))
+
+    def series_values(self, name: str) -> List[float]:
+        """Just the values of a series."""
+        return [sample.value for sample in self._series.get(name, [])]
+
+    def series_arrays(self, name: str) -> Tuple[List[float], List[float]]:
+        """``(times, values)`` parallel lists for plotting/analysis."""
+        samples = self._series.get(name, [])
+        return [s.time for s in samples], [s.value for s in samples]
+
+    def stats(self, name: str) -> RunningStats:
+        """Online summary statistics for a series (empty stats if unknown)."""
+        return self._stats.get(name, RunningStats())
+
+    # ----------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, dict]:
+        """Nested dict of everything recorded, for reports and debugging."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "series": {name: self._stats[name].summary() for name in self._series},
+        }
+
+    def merge_counters_from(self, other: "MetricsRecorder") -> None:
+        """Accumulate another recorder's counters into this one.
+
+        Used by experiment runners to aggregate per-trial recorders.
+        """
+        for name, value in other._counters.items():
+            self.incr(name, value)

@@ -1,0 +1,98 @@
+"""Trace persistence: JSON-lines export/import and CSV summaries.
+
+Long experiment campaigns record traces to disk so runs can be
+re-analyzed without re-simulating; the format is one JSON object per
+line (stable, appendable, greppable).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+PathLike = Union[str, Path]
+
+
+def dump_jsonl(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """Write events as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            record = {
+                "time": event.time,
+                "category": event.category,
+                "node": event.node,
+                "data": event.data,
+            }
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike) -> List[TraceEvent]:
+    """Read events back from a JSON-lines file.
+
+    Raises :class:`ValueError` with the line number on malformed input.
+    """
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed JSON: {error}"
+                ) from error
+            try:
+                events.append(
+                    TraceEvent(
+                        time=float(record["time"]),
+                        category=str(record["category"]),
+                        node=str(record["node"]),
+                        data=dict(record.get("data", {})),
+                    )
+                )
+            except (KeyError, TypeError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: missing field: {error}"
+                ) from error
+    return events
+
+
+def recorder_from_jsonl(path: PathLike) -> TraceRecorder:
+    """A recorder pre-populated from a saved trace (for re-analysis)."""
+    recorder = TraceRecorder()
+    for event in load_jsonl(path):
+        recorder.emit(event.time, event.category, event.node, **event.data)
+    return recorder
+
+
+def dump_csv(events: Iterable[TraceEvent], path: PathLike) -> int:
+    """Flat CSV export (data payload JSON-encoded in one column).
+
+    Convenient for spreadsheet inspection; JSONL remains the canonical
+    round-trip format.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "category", "node", "data"])
+        for event in events:
+            writer.writerow(
+                [
+                    f"{event.time:.9f}",
+                    event.category,
+                    event.node,
+                    json.dumps(event.data, sort_keys=True),
+                ]
+            )
+            count += 1
+    return count

@@ -1,0 +1,74 @@
+"""Tests for the ablation sweep runners (small trial counts)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    summarize_sweep,
+    sweep_adapt_threshold,
+    sweep_codebook_beamwidth,
+    sweep_handover_margin,
+    sweep_loss_threshold,
+)
+
+
+class TestHandoverMarginSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_handover_margin(
+            margins_db=(0.0, 6.0), n_trials=4, base_seed=7000
+        )
+
+    def test_arms_labeled(self, sweep):
+        assert set(sweep) == {"T=0dB", "T=6dB"}
+
+    def test_trials_counted(self, sweep):
+        for trials in sweep.values():
+            assert len(trials) == 4
+
+    def test_summary_rows(self, sweep):
+        rows = summarize_sweep(sweep)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["completion_rate"] <= 1.0
+
+
+class TestAdaptThresholdSweep:
+    def test_runs(self):
+        sweep = sweep_adapt_threshold(
+            thresholds_db=(3.0,), n_trials=3, base_seed=7100
+        )
+        assert set(sweep) == {"adapt=3dB"}
+        rows = summarize_sweep(sweep)
+        assert rows[0]["trials"] == 3
+
+
+class TestCodebookSweep:
+    def test_all_kinds(self):
+        sweep = sweep_codebook_beamwidth(n_trials=3, base_seed=7200)
+        assert set(sweep) == {"narrow", "wide", "omni"}
+
+    def test_narrow_beats_omni(self):
+        sweep = sweep_codebook_beamwidth(n_trials=4, base_seed=7300)
+        summary = {row["label"]: row for row in summarize_sweep(sweep)}
+        assert (
+            summary["narrow"]["completion_rate"]
+            >= summary["omni"]["completion_rate"]
+        )
+
+
+class TestLossThresholdSweep:
+    def test_runs(self):
+        sweep = sweep_loss_threshold(
+            thresholds_db=(10.0,), n_trials=3, base_seed=7400
+        )
+        assert set(sweep) == {"loss=10dB"}
+
+
+class TestSummaryShape:
+    def test_empty_completed_arm(self):
+        # Omni arm often completes nothing; summary must not crash.
+        sweep = sweep_codebook_beamwidth(n_trials=2, base_seed=7500)
+        rows = summarize_sweep(sweep)
+        for row in rows:
+            if row["completion_rate"] == 0.0:
+                assert row["mean_completion_s"] is None

@@ -1,0 +1,91 @@
+"""Unit tests for the beam quality table."""
+
+import pytest
+
+from repro.measure.beam_table import BeamQualityTable
+from repro.measure.report import RssMeasurement
+
+
+def detection(time_s, rx_beam, rss, cell="cellB", tx_beam=2):
+    return RssMeasurement(time_s, cell, rx_beam, tx_beam=tx_beam,
+                          rss_dbm=rss, snr_db=rss + 70.0)
+
+
+def miss(time_s, rx_beam, cell="cellB"):
+    return RssMeasurement(time_s, cell, rx_beam)
+
+
+class TestRecord:
+    def test_detection_stored(self):
+        table = BeamQualityTable()
+        table.record(detection(0.1, 3, -60.0))
+        entry = table.entry(3, now_s=0.2)
+        assert entry.rss_dbm == -60.0
+        assert entry.tx_beam == 2
+
+    def test_miss_clears_entry(self):
+        table = BeamQualityTable()
+        table.record(detection(0.1, 3, -60.0))
+        table.record(miss(0.2, 3))
+        assert table.entry(3, now_s=0.25) is None
+
+    def test_update_overwrites(self):
+        table = BeamQualityTable()
+        table.record(detection(0.1, 3, -60.0))
+        table.record(detection(0.2, 3, -55.0))
+        assert table.entry(3, now_s=0.25).rss_dbm == -55.0
+
+
+class TestFreshness:
+    def test_stale_entry_hidden(self):
+        table = BeamQualityTable(staleness_s=0.5)
+        table.record(detection(0.0, 3, -60.0))
+        assert table.entry(3, now_s=0.4) is not None
+        assert table.entry(3, now_s=0.6) is None
+
+    def test_best_ignores_stale(self):
+        table = BeamQualityTable(staleness_s=0.5)
+        table.record(detection(0.0, 1, -50.0))  # strong but old
+        table.record(detection(0.6, 2, -65.0))  # weak but fresh
+        assert table.best(now_s=0.7).rx_beam == 2
+
+    def test_best_picks_strongest_fresh(self):
+        table = BeamQualityTable()
+        table.record(detection(0.1, 1, -63.0))
+        table.record(detection(0.1, 2, -58.0))
+        table.record(detection(0.1, 3, -70.0))
+        assert table.best(now_s=0.2).rx_beam == 2
+
+    def test_best_none_when_empty(self):
+        assert BeamQualityTable().best(now_s=1.0) is None
+
+    def test_fresh_entries_sorted(self):
+        table = BeamQualityTable()
+        table.record(detection(0.1, 1, -63.0))
+        table.record(detection(0.1, 2, -58.0))
+        entries = table.fresh_entries(now_s=0.2)
+        assert [e.rx_beam for e in entries] == [2, 1]
+
+    def test_purge_stale(self):
+        table = BeamQualityTable(staleness_s=0.5)
+        table.record(detection(0.0, 1, -60.0))
+        table.record(detection(0.9, 2, -60.0))
+        dropped = table.purge_stale(now_s=1.0)
+        assert dropped == 1
+        assert len(table) == 1
+
+    def test_clear(self):
+        table = BeamQualityTable()
+        table.record(detection(0.0, 1, -60.0))
+        table.clear()
+        assert len(table) == 0
+
+    def test_rejects_bad_staleness(self):
+        with pytest.raises(ValueError):
+            BeamQualityTable(staleness_s=0.0)
+
+
+class TestMeasurementRecord:
+    def test_detected_property(self):
+        assert detection(0.0, 1, -60.0).detected
+        assert not miss(0.0, 1).detected

@@ -1,0 +1,167 @@
+"""Unit tests for BeamSurfer (serving-cell beam maintenance).
+
+These drive the decision engine directly with synthetic measurements,
+pinning the EO / S-RBA / CABM logic without a full simulation.
+"""
+
+import pytest
+
+from repro.core.beamsurfer import BeamSurfer, BeamSurferConfig, ServingState
+from repro.measure.report import RssMeasurement
+from repro.phy.codebook import Codebook
+
+
+def detection(time_s, rx_beam, rss):
+    return RssMeasurement(time_s, "cellA", rx_beam, tx_beam=0,
+                          rss_dbm=rss, snr_db=rss + 70.0)
+
+
+def miss(time_s, rx_beam):
+    return RssMeasurement(time_s, "cellA", rx_beam)
+
+
+def make_surfer(initial_beam=9, alpha=1.0, threshold=3.0, transitions=None):
+    config = BeamSurferConfig(adapt_threshold_db=threshold, ewma_alpha=alpha)
+    hook = None
+    if transitions is not None:
+        hook = lambda old, new, edge, t: transitions.append((old, new, edge))
+    return BeamSurfer(Codebook.uniform_azimuth(20.0), initial_beam, config,
+                      on_transition=hook)
+
+
+def feed(surfer, measurement, now=None):
+    surfer.on_serving_measurement(measurement, now if now is not None
+                                  else measurement.time_s)
+
+
+class TestEdgeOperation:
+    def test_initial_state(self):
+        surfer = make_surfer()
+        assert surfer.state is ServingState.EDGE_OPERATION
+        assert surfer.beam == 9
+
+    def test_healthy_rss_stays_eo(self):
+        """Edge A: dRSS < 3 dB keeps the beam and the state."""
+        surfer = make_surfer()
+        for k in range(10):
+            feed(surfer, detection(0.02 * k, 9, -60.0 - 0.1 * k))
+        assert surfer.state is ServingState.EDGE_OPERATION
+        assert surfer.beam == 9
+        assert surfer.mobile_switches == 0
+
+    def test_smoothed_rss_exposed(self):
+        surfer = make_surfer()
+        feed(surfer, detection(0.0, 9, -60.0))
+        assert surfer.smoothed_rss_dbm == pytest.approx(-60.0)
+
+
+class TestMobileAdaptation:
+    def test_drop_enters_probe(self):
+        """A >3 dB drop triggers S-RBA (edge G toward adaptation)."""
+        surfer = make_surfer()
+        feed(surfer, detection(0.00, 9, -60.0))
+        feed(surfer, detection(0.02, 9, -64.0))
+        assert surfer.state is ServingState.MOBILE_ADAPTATION
+        # The next burst dwell probes an adjacent beam.
+        assert surfer.beam_for_burst() in (8, 10)
+
+    def test_probe_selects_better_adjacent(self):
+        surfer = make_surfer()
+        feed(surfer, detection(0.00, 9, -60.0))
+        feed(surfer, detection(0.02, 9, -64.0))
+        first_probe = surfer.beam_for_burst()
+        feed(surfer, detection(0.04, first_probe,
+                               -61.0 if first_probe == 8 else -75.0))
+        second_probe = surfer.beam_for_burst()
+        feed(surfer, detection(0.06, second_probe,
+                               -61.0 if second_probe == 8 else -75.0))
+        assert surfer.beam == 8
+        assert surfer.mobile_switches == 1
+        assert surfer.state is ServingState.EDGE_OPERATION
+
+    def test_recovery_rearms_reference(self):
+        surfer = make_surfer()
+        feed(surfer, detection(0.00, 9, -60.0))
+        feed(surfer, detection(0.02, 9, -64.0))
+        # Both probes recover to near the original level.
+        for _ in range(2):
+            probe = surfer.beam_for_burst()
+            feed(surfer, detection(0.04, probe, -60.5))
+        assert surfer.state is ServingState.EDGE_OPERATION
+        # A small further drop from the new reference must not retrigger.
+        feed(surfer, detection(0.06, surfer.beam, -61.5))
+        assert surfer.state is ServingState.EDGE_OPERATION
+
+    def test_missed_committed_dwell_triggers_probe(self):
+        surfer = make_surfer()
+        feed(surfer, detection(0.00, 9, -60.0))
+        feed(surfer, miss(0.02, 9))
+        assert surfer.state is ServingState.MOBILE_ADAPTATION
+
+
+class TestCellAssistance:
+    def drive_to_cabm(self, surfer):
+        """Degrade everything so mobile-side adaptation is insufficient."""
+        feed(surfer, detection(0.00, 9, -60.0))
+        feed(surfer, detection(0.02, 9, -65.0))  # drop -> probe
+        for _ in range(2):
+            probe = surfer.beam_for_burst()
+            feed(surfer, detection(0.04, probe, -66.0))  # both bad
+
+    def test_insufficient_probe_requests_cabm(self):
+        """Edge G: best mobile beam still degraded -> CABM."""
+        transitions = []
+        surfer = make_surfer(transitions=transitions)
+        self.drive_to_cabm(surfer)
+        assert surfer.state is ServingState.CELL_ASSISTED
+        assert surfer.cabm_request_pending
+        assert surfer.cabm_requests == 1
+        edges = [e for (_, _, e) in transitions]
+        assert "G" in edges
+
+    def test_recovery_in_cabm_is_edge_f(self):
+        """Edge F: the cell's tx switch restores RSS -> back to EO."""
+        transitions = []
+        surfer = make_surfer(transitions=transitions)
+        self.drive_to_cabm(surfer)
+        feed(surfer, detection(0.10, surfer.beam, -60.5))
+        assert surfer.state is ServingState.EDGE_OPERATION
+        assert not surfer.cabm_request_pending
+        assert transitions[-1][2] == "F"
+
+    def test_omni_goes_straight_to_cabm(self):
+        """A single-beam codebook cannot adapt mobile-side."""
+        config = BeamSurferConfig(ewma_alpha=1.0)
+        surfer = BeamSurfer(Codebook.omni(), 0, config)
+        feed(surfer, detection(0.00, 0, -60.0))
+        feed(surfer, detection(0.02, 0, -65.0))
+        assert surfer.state is ServingState.CELL_ASSISTED
+
+
+class TestRebind:
+    def test_rebind_resets_state(self):
+        surfer = make_surfer()
+        feed(surfer, detection(0.00, 9, -60.0))
+        feed(surfer, detection(0.02, 9, -65.0))
+        surfer.rebind(4, -58.0)
+        assert surfer.beam == 4
+        assert surfer.state is ServingState.EDGE_OPERATION
+        assert surfer.smoothed_rss_dbm == pytest.approx(-58.0)
+
+    def test_rebind_without_rss_rearms_lazily(self):
+        surfer = make_surfer()
+        feed(surfer, detection(0.00, 9, -60.0))
+        surfer.rebind(4)
+        assert surfer.smoothed_rss_dbm is None
+        feed(surfer, detection(0.10, 4, -62.0))
+        assert surfer.smoothed_rss_dbm == pytest.approx(-62.0)
+
+
+class TestConfig:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BeamSurferConfig(adapt_threshold_db=0.0)
+
+    def test_rejects_bad_patience(self):
+        with pytest.raises(ValueError):
+            BeamSurferConfig(probe_patience_bursts=0)

@@ -1,0 +1,52 @@
+"""Tests for the protocol comparison runner (small trial counts)."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    run_comparison,
+    run_comparison_trial,
+    summarize_comparison,
+)
+
+
+class TestComparisonTrial:
+    def test_silent_tracker_trial(self):
+        result = run_comparison_trial("silent-tracker", "walk", seed=3)
+        assert result.protocol == "silent-tracker"
+        assert result.handovers_completed >= 1
+        assert result.soft_handovers >= 1
+
+    def test_reactive_trial_only_hard(self):
+        result = run_comparison_trial("reactive", "vehicular", seed=3)
+        assert result.soft_handovers == 0
+
+    def test_deterministic(self):
+        a = run_comparison_trial("oracle", "walk", seed=5)
+        b = run_comparison_trial("oracle", "walk", seed=5)
+        assert a == b
+
+
+class TestComparisonAggregate:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_comparison(
+            scenario="vehicular", n_trials=4, base_seed=7600,
+            protocols=("silent-tracker", "reactive"),
+        )
+
+    def test_protocol_arms(self, results):
+        assert set(results) == {"silent-tracker", "reactive"}
+
+    def test_summary_interruption_gap(self, results):
+        summary = {row["protocol"]: row for row in summarize_comparison(results)}
+        tracker = summary["silent-tracker"]["mean_interruption_s"]
+        reactive = summary["reactive"]["mean_interruption_s"]
+        if tracker is not None and reactive is not None:
+            assert tracker < reactive
+
+    def test_summary_soft_ratios(self, results):
+        summary = {row["protocol"]: row for row in summarize_comparison(results)}
+        if summary["silent-tracker"]["soft_ratio"] is not None:
+            assert summary["silent-tracker"]["soft_ratio"] > 0.5
+        if summary["reactive"]["soft_ratio"] is not None:
+            assert summary["reactive"]["soft_ratio"] == 0.0

@@ -1,0 +1,136 @@
+"""Unit tests for the deployment wiring."""
+
+import pytest
+
+from repro.geometry.pose import Pose
+from repro.geometry.vectors import Vec3
+from repro.mobility.base import StaticPose
+from repro.net.base_station import BaseStation
+from repro.net.deployment import Deployment, DeploymentConfig
+from repro.net.mobile import Mobile
+from repro.phy.channel import ChannelConfig
+from repro.phy.codebook import Codebook
+
+
+def make_deployment():
+    deployment = Deployment(
+        DeploymentConfig(master_seed=1, channel=ChannelConfig.deterministic())
+    )
+    deployment.add_station(
+        BaseStation(
+            "cellA",
+            Pose(Vec3(0.0, 10.0)),
+            Codebook.uniform_azimuth(30.0),
+            tx_power_dbm=10.0,
+            ssb_phase_s=0.0,
+        )
+    )
+    deployment.add_station(
+        BaseStation(
+            "cellB",
+            Pose(Vec3(20.0, 10.0)),
+            Codebook.uniform_azimuth(30.0),
+            tx_power_dbm=10.0,
+            ssb_phase_s=0.005,
+        )
+    )
+    mobile = deployment.add_mobile(
+        Mobile("ue0", StaticPose(Pose(Vec3(10.0, 0.0))),
+               Codebook.uniform_azimuth(20.0))
+    )
+    return deployment, mobile
+
+
+class CountingListener:
+    def __init__(self):
+        self.offers = []
+
+    def choose_rx_beam(self, cell_id, now_s):
+        self.offers.append((cell_id, now_s))
+        return 0
+
+    def on_measurement(self, measurement):
+        pass
+
+
+class TestTopology:
+    def test_duplicate_station_rejected(self):
+        deployment, _ = make_deployment()
+        with pytest.raises(ValueError):
+            deployment.add_station(
+                BaseStation("cellA", Pose(Vec3(1, 1)),
+                            Codebook.uniform_azimuth(30.0))
+            )
+
+    def test_duplicate_mobile_rejected(self):
+        deployment, _ = make_deployment()
+        with pytest.raises(ValueError):
+            deployment.add_mobile(
+                Mobile("ue0", StaticPose(Pose(Vec3(0, 0))), Codebook.omni())
+            )
+
+    def test_lookup(self):
+        deployment, mobile = make_deployment()
+        assert deployment.station("cellA").cell_id == "cellA"
+        assert deployment.mobile("ue0") is mobile
+        with pytest.raises(KeyError):
+            deployment.station("nope")
+        with pytest.raises(KeyError):
+            deployment.mobile("nope")
+
+    def test_add_after_start_rejected(self):
+        deployment, _ = make_deployment()
+        deployment.start()
+        with pytest.raises(RuntimeError):
+            deployment.add_station(
+                BaseStation("cellZ", Pose(Vec3(1, 1)),
+                            Codebook.uniform_azimuth(30.0))
+            )
+
+    def test_double_start_rejected(self):
+        deployment, _ = make_deployment()
+        deployment.start()
+        with pytest.raises(RuntimeError):
+            deployment.start()
+
+
+class TestBurstDelivery:
+    def test_bursts_fire_per_period(self):
+        deployment, mobile = make_deployment()
+        listener = CountingListener()
+        mobile.attach_listener(listener)
+        deployment.run(0.1)  # 5 periods of 20 ms
+        # Both cells offer a burst every period (phases 0 and 5 ms).
+        cell_a = [t for c, t in listener.offers if c == "cellA"]
+        cell_b = [t for c, t in listener.offers if c == "cellB"]
+        assert len(cell_a) == 6  # t = 0, 20, ..., 100 ms
+        assert len(cell_b) == 5  # t = 5, 25, ..., 85 ms
+
+    def test_staggered_phases_no_rf_conflict(self):
+        deployment, mobile = make_deployment()
+        listener = CountingListener()
+        mobile.attach_listener(listener)
+        deployment.run(0.2)
+        assert mobile.bursts_skipped_busy == 0
+
+    def test_burst_counters(self):
+        deployment, mobile = make_deployment()
+        mobile.attach_listener(CountingListener())
+        deployment.run(0.1)
+        assert deployment.metrics.counter("bursts.cellA") == 6
+        assert deployment.metrics.counter("bursts.cellB") == 5
+
+    def test_run_auto_starts(self):
+        deployment, _ = make_deployment()
+        deployment.run(0.05)
+        assert deployment.sim.now == pytest.approx(0.05)
+
+    def test_stop_halts_bursts(self):
+        deployment, mobile = make_deployment()
+        listener = CountingListener()
+        mobile.attach_listener(listener)
+        deployment.run(0.05)
+        count = len(listener.offers)
+        deployment.stop()
+        deployment.run(0.1)
+        assert len(listener.offers) == count

@@ -1,0 +1,203 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    EventQueue,
+    PeriodicTask,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, fired.append, ("b",))
+        queue.push(1.0, fired.append, ("a",))
+        first = queue.pop()
+        second = queue.pop()
+        assert (first.time, second.time) == (1.0, 2.0)
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None, label="first")
+        second = queue.push(1.0, lambda: None, label="second")
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        keeper = queue.push(2.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is keeper
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_empty_pop(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_clock_advances_to_end(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        assert sim.now == 5.0
+
+    def test_callback_sees_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run_until(2.0)
+        assert seen == [1.5]
+
+    def test_events_beyond_horizon_not_fired(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "late")
+        sim.run_until(2.0)
+        assert fired == []
+        sim.run_until(4.0)
+        assert fired == ["late"]
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, "now")
+        sim.run_until(0.0)
+        assert fired == ["now"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run_until(3.0)
+        assert order == ["outer", "inner"]
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_stop_halts_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(5.0)
+        assert fired == [1]
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for k in range(4):
+            sim.schedule(float(k), lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_fired == 4
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run_until_idle()
+        assert fired == ["a", "b"]
+        assert sim.now == 2.0
+
+
+class TestPeriodicTask:
+    def test_fires_at_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 0.5, lambda: times.append(sim.now))
+        sim.run_until(2.1)
+        assert times == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_start_delay(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 1.0, lambda: times.append(sim.now), start_delay=0.25)
+        sim.run_until(2.5)
+        assert times == pytest.approx([0.25, 1.25, 2.25])
+
+    def test_no_drift_over_many_ticks(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 0.02, lambda: times.append(sim.now))
+        sim.run_until(10.0)
+        # The 500th tick lands exactly on 500 * 0.02 despite float steps.
+        assert times[500] == pytest.approx(10.0, abs=1e-9)
+
+    def test_stop_inside_callback(self):
+        sim = Simulator()
+        count = [0]
+        task_ref = []
+
+        def tick():
+            count[0] += 1
+            if count[0] == 3:
+                task_ref[0].stop()
+
+        task_ref.append(PeriodicTask(sim, 1.0, tick))
+        sim.run_until(10.0)
+        assert count[0] == 3
+
+    def test_stop_outside(self):
+        sim = Simulator()
+        count = [0]
+        task = PeriodicTask(sim, 1.0, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run_until(2.5)
+        task.stop()
+        sim.run_until(10.0)
+        assert count[0] == 3  # t = 0, 1, 2
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), 0.0, lambda: None)

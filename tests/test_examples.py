@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs clean via its main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        output = capsys.readouterr().out
+        assert "serving cell after the walk" in output
+        assert "handover" in output
+
+    def test_human_walk_handover(self, capsys):
+        load_example("human_walk_handover").main()
+        output = capsys.readouterr().out
+        assert "run summary" in output
+        assert "HANDOVER" in output or "handovers:" in output
+
+    def test_device_rotation(self, capsys):
+        load_example("device_rotation").main()
+        output = capsys.readouterr().out
+        assert "adaptation summary" in output
+        assert "neighbor-beam switches" in output
+
+    def test_vehicular_handover(self, capsys):
+        load_example("vehicular_handover").main()
+        output = capsys.readouterr().out
+        assert "Silent Tracker" in output
+        assert "Reactive hard handover" in output
+
+    def test_baseline_comparison(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["baseline_comparison.py", "2"])
+        load_example("baseline_comparison").main()
+        output = capsys.readouterr().out
+        assert "Scenario: walk" in output
+        assert "Scenario: vehicular" in output
+
+    def test_random_waypoint_stress(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["random_waypoint_stress.py", "42"])
+        load_example("random_waypoint_stress").main()
+        output = capsys.readouterr().out
+        assert "handovers completed" in output
+
+    def test_channel_calibration(self, capsys):
+        load_example("channel_calibration").main()
+        output = capsys.readouterr().out
+        assert "duty" in output
+        assert "rotation" in output
+
+    def test_generate_report(self, capsys, monkeypatch, tmp_path):
+        target = tmp_path / "out.md"
+        monkeypatch.setattr(
+            sys, "argv", ["generate_report.py", "2", str(target)]
+        )
+        load_example("generate_report").main()
+        assert target.read_text().startswith(
+            "# Silent Tracker reproduction report"
+        )

@@ -1,0 +1,116 @@
+"""Failure injection: the protocol under hostile channel conditions.
+
+These tests crank individual impairments far beyond the calibrated
+defaults and check the protocol *degrades*, not *breaks*: state
+machines stay consistent, watchdogs fire, and recovery paths engage.
+"""
+
+import pytest
+
+from repro.core.config import SilentTrackerConfig
+from repro.core.events import NeighborState
+from repro.core.silent_tracker import SilentTracker
+from repro.experiments.scenarios import build_cell_edge_deployment
+from repro.net.deployment import DeploymentConfig
+from repro.phy.blockage import BlockageConfig
+from repro.phy.channel import ChannelConfig
+
+
+def run_with_channel(channel_config, scenario="walk", seed=3, duration_s=6.0,
+                     tracker_config=None):
+    deployment, mobile = build_cell_edge_deployment(
+        seed,
+        scenario=scenario,
+        config=DeploymentConfig(master_seed=seed, channel=channel_config),
+    )
+    protocol = SilentTracker(deployment, mobile, "cellA", tracker_config)
+    protocol.start()
+    deployment.run(duration_s)
+    protocol.stop()
+    return deployment, mobile, protocol
+
+
+class TestBlockageStorm:
+    """Blockers arriving 10x the calibrated rate with deep shadows."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        storm = ChannelConfig(
+            blockage=BlockageConfig(
+                rate_per_s=2.0,
+                mean_duration_s=0.4,
+                mean_attenuation_db=25.0,
+            )
+        )
+        return run_with_channel(storm)
+
+    def test_losses_occur_and_reacquire(self, run):
+        deployment, _, protocol = run
+        # Deep blockage forces edge D losses...
+        assert deployment.metrics.counter("fsm.neighbor.D") >= 1
+        # ...and re-acquisition recovers at least once (edge C again).
+        assert deployment.metrics.counter("fsm.neighbor.C") >= 2
+
+    def test_state_machine_consistent(self, run):
+        _, _, protocol = run
+        assert protocol.tracker.state in (
+            NeighborState.IDLE,
+            NeighborState.SEARCHING,
+            NeighborState.TRACKING,
+        )
+        # Accounting invariant: losses == reacquisitions by construction.
+        assert protocol.tracker.losses == protocol.tracker.reacquisitions
+
+    def test_rlf_machinery_engaged(self, run):
+        deployment, _, _ = run
+        # The serving link takes hits too: RLF declarations happen but
+        # the run does not crash.
+        assert deployment.metrics.counter("connection.rlf") >= 0
+
+
+class TestDeepFading:
+    """Rayleigh-like fading (K = 0 dB) everywhere."""
+
+    def test_protocol_survives(self):
+        config = ChannelConfig(rician_k_db=0.0)
+        deployment, mobile, protocol = run_with_channel(config)
+        # Progress is still made: the tracker searched, and serving
+        # measurements were delivered.
+        assert protocol.tracker.search_dwells > 0
+        assert mobile.bursts_measured > 50
+
+
+class TestHeavyShadowing:
+    """8 dB shadowing (3x the 60 GHz LoS fit)."""
+
+    def test_handover_still_possible(self):
+        config = ChannelConfig(shadowing_sigma_db=8.0)
+        _, _, protocol = run_with_channel(config, duration_s=8.0)
+        # With 8 dB swings the trigger fires readily; at least one
+        # handover episode must resolve (any outcome).
+        resolved = [
+            r for r in protocol.handover_log.records if r.outcome is not None
+        ]
+        assert resolved
+
+
+class TestTotalNeighborOutage:
+    """Two-cell deployment where the neighbor is unreachably far."""
+
+    def test_tracker_keeps_searching(self):
+        # Rotate in place on the far side of cellA: cellB is ~37 m away
+        # (SNR below the detection floor except on shadowing peaks) and
+        # always far weaker than the 18 m serving link, so edge E never
+        # fires; the tracker just keeps searching / probing.
+        deployment, mobile = build_cell_edge_deployment(
+            5, scenario="rotation", n_cells=2, start_x=-15.0
+        )
+        protocol = SilentTracker(deployment, mobile, "cellA")
+        protocol.start()
+        deployment.run(3.0)
+        protocol.stop()
+        assert protocol.tracker.search_dwells > 20
+        completed = [
+            r for r in protocol.handover_log.records if r.complete_s is not None
+        ]
+        assert not completed

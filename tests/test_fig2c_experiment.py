@@ -1,0 +1,56 @@
+"""Tests for the Fig. 2c experiment runner (handover completion CDF)."""
+
+import pytest
+
+from repro.experiments.fig2c import run_fig2c, run_tracking_trial
+from repro.net.handover import HandoverOutcome
+
+
+class TestTrackingTrial:
+    def test_walk_completes(self):
+        result = run_tracking_trial("walk", seed=3)
+        assert result.completed
+        assert result.completion_time_s > 0
+        assert result.outcome in (HandoverOutcome.SOFT, HandoverOutcome.HARD)
+
+    def test_deterministic_per_seed(self):
+        a = run_tracking_trial("rotation", seed=4)
+        b = run_tracking_trial("rotation", seed=4)
+        assert a == b
+
+    def test_tracking_time_bounded_by_completion(self):
+        result = run_tracking_trial("walk", seed=3)
+        assert result.tracking_time_s <= result.completion_time_s
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_tracking_trial("swimming", seed=1)
+
+
+class TestFig2cAggregate:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fig2c(n_trials=8, base_seed=950)
+
+    def test_all_scenarios_present(self, results):
+        assert set(results) == {"walk", "rotation", "vehicular"}
+
+    def test_high_completion_rate(self, results):
+        """Silent Tracker succeeds in all three mobility scenarios."""
+        for scenario, data in results.items():
+            assert data["completion_rate"] >= 0.75, scenario
+
+    def test_mostly_soft(self, results):
+        for scenario, data in results.items():
+            assert data["soft_rate"] >= 0.5, scenario
+
+    def test_times_in_paper_band(self, results):
+        """Fig. 2c's x-axis spans ~0.4-1.8 s; our distribution must be
+        of that order (sub-second to a few seconds, never minutes)."""
+        for scenario, data in results.items():
+            for t in data["completion_times_s"]:
+                assert 0.05 < t < 5.0, (scenario, t)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            run_fig2c(n_trials=0)

@@ -1,0 +1,60 @@
+"""Unit tests for handover records and log."""
+
+import pytest
+
+from repro.net.handover import HandoverLog, HandoverOutcome, HandoverRecord
+
+
+class TestRecord:
+    def test_completion_time(self):
+        record = HandoverRecord("ue0", "cellA", "cellB", trigger_s=1.0)
+        assert record.completion_time_s is None
+        record.complete_s = 1.4
+        assert record.completion_time_s == pytest.approx(0.4)
+
+    def test_is_soft(self):
+        record = HandoverRecord("ue0", "cellA", "cellB", trigger_s=1.0)
+        record.outcome = HandoverOutcome.SOFT
+        assert record.is_soft
+        record.outcome = HandoverOutcome.HARD
+        assert not record.is_soft
+
+
+class TestLog:
+    def make_log(self):
+        log = HandoverLog()
+        soft = log.open_record("ue0", "cellA", "cellB", 1.0)
+        soft.complete_s = 1.5
+        soft.outcome = HandoverOutcome.SOFT
+        hard = log.open_record("ue0", "cellB", "cellC", 5.0)
+        hard.complete_s = 7.0
+        hard.outcome = HandoverOutcome.HARD
+        failed = log.open_record("ue0", "cellC", "cellA", 9.0)
+        failed.outcome = HandoverOutcome.FAILED
+        return log
+
+    def test_counts(self):
+        log = self.make_log()
+        assert len(log) == 3
+        assert log.soft_count == 1
+        assert log.hard_count == 1
+        assert log.failed_count == 1
+
+    def test_completion_times(self):
+        log = self.make_log()
+        assert log.completion_times_s() == pytest.approx([0.5, 2.0])
+
+    def test_soft_ratio(self):
+        assert self.make_log().soft_ratio() == pytest.approx(1.0 / 3.0)
+
+    def test_soft_ratio_empty_raises(self):
+        log = HandoverLog()
+        log.open_record("ue0", "a", "b", 0.0)  # unresolved
+        with pytest.raises(ValueError):
+            log.soft_ratio()
+
+    def test_records_copy(self):
+        log = self.make_log()
+        records = log.records
+        records.clear()
+        assert len(log) == 3

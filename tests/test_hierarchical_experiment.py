@@ -1,0 +1,47 @@
+"""Tests for the hierarchical-search extension experiment."""
+
+import pytest
+
+from repro.experiments.hierarchical import (
+    compare_search_strategies,
+    run_hierarchical_trial,
+)
+
+
+class TestHierarchicalTrial:
+    def test_trial_runs(self):
+        result = run_hierarchical_trial(seed=3)
+        assert result.dwells >= 1
+        assert result.stage_reached in (1, 2)
+
+    def test_success_implies_stage2(self):
+        for seed in range(5):
+            result = run_hierarchical_trial(seed=seed)
+            if result.success:
+                assert result.stage_reached == 2
+
+    def test_deterministic(self):
+        assert run_hierarchical_trial(seed=11) == run_hierarchical_trial(seed=11)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_search_strategies(n_trials=10, base_seed=3100)
+
+    def test_both_strategies_reported(self, results):
+        assert set(results) == {"exhaustive", "hierarchical"}
+
+    def test_exhaustive_success_high(self, results):
+        assert results["exhaustive"]["success_rate"] >= 0.8
+
+    def test_hierarchical_fewer_dwells_when_it_works(self, results):
+        """Two-stage search is cheaper on successful trials."""
+        hier = results["hierarchical"]["latency"]
+        exhaustive = results["exhaustive"]["latency"]
+        if hier["count"] >= 3 and exhaustive["count"] >= 3:
+            assert hier["mean"] <= exhaustive["mean"] + 2.0
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            compare_search_strategies(n_trials=0)

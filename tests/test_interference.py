@@ -1,0 +1,76 @@
+"""Tests for the interference/SINR substrate and EXT-SINR experiment."""
+
+import pytest
+
+from repro.experiments.interference import (
+    summarize_alignment_cost,
+    sweep_positions,
+)
+from repro.phy.interference import aggregate_power_dbm, sinr_db
+
+
+class TestAggregation:
+    def test_single_level_identity(self):
+        assert aggregate_power_dbm([-60.0]) == pytest.approx(-60.0)
+
+    def test_equal_levels_add_3db(self):
+        assert aggregate_power_dbm([-60.0, -60.0]) == pytest.approx(-57.0, abs=0.02)
+
+    def test_dominant_term_wins(self):
+        total = aggregate_power_dbm([-40.0, -80.0])
+        assert total == pytest.approx(-40.0, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_power_dbm([])
+
+
+class TestSinr:
+    def test_no_interference_equals_snr(self):
+        assert sinr_db(-60.0, [], -80.0) == pytest.approx(20.0)
+
+    def test_interference_degrades(self):
+        clean = sinr_db(-60.0, [], -80.0)
+        dirty = sinr_db(-60.0, [-70.0], -80.0)
+        assert dirty < clean
+
+    def test_interference_floor(self):
+        """Interference 10 dB above noise dominates the denominator."""
+        value = sinr_db(-60.0, [-70.0], -100.0)
+        assert value == pytest.approx(10.0, abs=0.1)
+
+    def test_many_weak_interferers_accumulate(self):
+        one = sinr_db(-60.0, [-75.0], -90.0)
+        ten = sinr_db(-60.0, [-75.0] * 10, -90.0)
+        assert ten < one - 5.0
+
+
+class TestAlignmentSweep:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return sweep_positions(seed=1)
+
+    def test_sinr_never_exceeds_snr(self, samples):
+        for sample in samples:
+            assert sample.sinr_db <= sample.snr_db + 1e-9
+
+    def test_alignment_costs_detection(self, samples):
+        summary = summarize_alignment_cost(samples)
+        assert summary["detect_rate_aligned"] <= summary["detect_rate_staggered"]
+        assert summary["mean_sinr_penalty_db"] > 0.0
+
+    def test_penalty_worst_near_interferer(self, samples):
+        """The SINR penalty is largest where the serving cell is strong
+        relative to the searched cell (near cellA, far from cellB)."""
+        near = next(s for s in samples if s.x_m == min(x.x_m for x in samples))
+        far = next(s for s in samples if s.x_m == max(x.x_m for x in samples))
+        assert (near.snr_db - near.sinr_db) > (far.snr_db - far.sinr_db)
+
+    def test_summary_fields(self, samples):
+        summary = summarize_alignment_cost(samples)
+        assert summary["positions"] == len(samples)
+        assert 0.0 <= summary["detect_rate_aligned"] <= 1.0
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_alignment_cost([])

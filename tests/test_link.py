@@ -1,0 +1,87 @@
+"""Unit tests for the link budget."""
+
+import pytest
+
+from repro.phy.link import LinkBudget
+
+
+class TestNoiseFloor:
+    def test_default_floor(self):
+        budget = LinkBudget(bandwidth_hz=1e9, noise_figure_db=0.0)
+        assert budget.noise_floor_dbm == pytest.approx(-84.0)
+
+    def test_noise_figure_raises_floor(self):
+        quiet = LinkBudget(noise_figure_db=0.0)
+        noisy = LinkBudget(noise_figure_db=8.0)
+        assert noisy.noise_floor_dbm == pytest.approx(quiet.noise_floor_dbm + 8.0)
+
+
+class TestSnr:
+    def test_snr_definition(self):
+        budget = LinkBudget()
+        assert budget.snr_db(budget.noise_floor_dbm) == pytest.approx(0.0)
+        assert budget.snr_db(budget.noise_floor_dbm + 10.0) == pytest.approx(10.0)
+
+    def test_rss_for_snr_inverse(self):
+        budget = LinkBudget()
+        for snr in (-5.0, 0.0, 12.0):
+            assert budget.snr_db(budget.rss_for_snr(snr)) == pytest.approx(snr)
+
+
+class TestDetection:
+    def test_threshold_boundary(self):
+        budget = LinkBudget(detection_snr_db=5.0)
+        at_threshold = budget.rss_for_snr(5.0)
+        assert budget.detects(at_threshold)
+        assert not budget.detects(at_threshold - 0.01)
+
+
+class TestPacketSuccess:
+    def test_half_at_decode_snr(self):
+        budget = LinkBudget(decode_snr_db=5.0)
+        rss = budget.rss_for_snr(5.0)
+        assert budget.packet_success_probability(rss) == pytest.approx(0.5)
+
+    def test_monotone_in_rss(self):
+        budget = LinkBudget()
+        probabilities = [
+            budget.packet_success_probability(budget.rss_for_snr(snr))
+            for snr in range(-10, 25)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_saturates(self):
+        budget = LinkBudget(decode_snr_db=5.0, decode_slope_db=1.0)
+        assert budget.packet_success_probability(budget.rss_for_snr(60.0)) == 1.0
+        assert budget.packet_success_probability(budget.rss_for_snr(-60.0)) == 0.0
+
+    def test_slope_controls_sharpness(self):
+        sharp = LinkBudget(decode_slope_db=0.5)
+        soft = LinkBudget(decode_slope_db=3.0)
+        rss = sharp.rss_for_snr(sharp.decode_snr_db + 2.0)
+        assert sharp.packet_success_probability(
+            rss
+        ) > soft.packet_success_probability(rss)
+
+
+class TestShannonRate:
+    def test_zero_snr_gives_1bps_per_hz(self):
+        budget = LinkBudget(bandwidth_hz=1e9)
+        rate = budget.shannon_rate_bps(budget.rss_for_snr(0.0))
+        assert rate == pytest.approx(1e9, rel=1e-6)
+
+    def test_monotone(self):
+        budget = LinkBudget()
+        low = budget.shannon_rate_bps(budget.rss_for_snr(0.0))
+        high = budget.shannon_rate_bps(budget.rss_for_snr(20.0))
+        assert high > low
+
+
+class TestValidation:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkBudget(bandwidth_hz=0.0)
+
+    def test_rejects_bad_slope(self):
+        with pytest.raises(ValueError):
+            LinkBudget(decode_slope_db=0.0)

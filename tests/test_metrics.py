@@ -1,0 +1,76 @@
+"""Unit tests for the metrics recorder."""
+
+import pytest
+
+from repro.sim.metrics import MetricsRecorder
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert MetricsRecorder().counter("x") == 0
+
+    def test_increment(self):
+        metrics = MetricsRecorder()
+        metrics.incr("x")
+        metrics.incr("x", 4)
+        assert metrics.counter("x") == 5
+
+    def test_merge(self):
+        a = MetricsRecorder()
+        b = MetricsRecorder()
+        a.incr("x", 2)
+        b.incr("x", 3)
+        b.incr("y")
+        a.merge_counters_from(b)
+        assert a.counter("x") == 5
+        assert a.counter("y") == 1
+
+
+class TestGauges:
+    def test_unset_is_none(self):
+        assert MetricsRecorder().gauge("g") is None
+
+    def test_last_write_wins(self):
+        metrics = MetricsRecorder()
+        metrics.set_gauge("g", 1.0)
+        metrics.set_gauge("g", 2.0)
+        assert metrics.gauge("g") == 2.0
+
+
+class TestSeries:
+    def test_record_and_read(self):
+        metrics = MetricsRecorder()
+        metrics.record("rss", 0.1, -60.0)
+        metrics.record("rss", 0.2, -62.0)
+        assert metrics.series_values("rss") == [-60.0, -62.0]
+
+    def test_series_arrays(self):
+        metrics = MetricsRecorder()
+        metrics.record("rss", 0.1, -60.0)
+        metrics.record("rss", 0.2, -62.0)
+        times, values = metrics.series_arrays("rss")
+        assert times == [0.1, 0.2]
+        assert values == [-60.0, -62.0]
+
+    def test_stats_follow_series(self):
+        metrics = MetricsRecorder()
+        for value in (1.0, 2.0, 3.0):
+            metrics.record("s", 0.0, value)
+        assert metrics.stats("s").mean == pytest.approx(2.0)
+
+    def test_unknown_series_empty(self):
+        metrics = MetricsRecorder()
+        assert metrics.series("nope") == []
+        assert metrics.stats("nope").count == 0
+
+
+class TestSummary:
+    def test_structure(self):
+        metrics = MetricsRecorder()
+        metrics.incr("c")
+        metrics.set_gauge("g", 7.0)
+        metrics.record("s", 0.0, 1.0)
+        summary = metrics.summary()
+        assert summary["counters"] == {"c": 1}
+        assert summary["gauges"] == {"g": 7.0}
+        assert summary["series"]["s"]["count"] == 1

@@ -1,0 +1,155 @@
+"""Unit tests for repro.util.numerics."""
+
+import math
+
+import pytest
+
+from repro.util.numerics import (
+    Ewma,
+    RunningStats,
+    clamp,
+    is_close,
+    lin_interp,
+    pairwise,
+    quantile,
+)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+
+class TestLinInterp:
+    def test_midpoint(self):
+        assert lin_interp(0.5, 0.0, 1.0, 10.0, 20.0) == pytest.approx(15.0)
+
+    def test_endpoints(self):
+        assert lin_interp(0.0, 0.0, 1.0, 10.0, 20.0) == 10.0
+        assert lin_interp(1.0, 0.0, 1.0, 10.0, 20.0) == 20.0
+
+    def test_extrapolates(self):
+        assert lin_interp(2.0, 0.0, 1.0, 0.0, 1.0) == pytest.approx(2.0)
+
+    def test_degenerate_interval(self):
+        assert lin_interp(5.0, 1.0, 1.0, 3.0, 9.0) == 3.0
+
+
+class TestPairwise:
+    def test_basic(self):
+        assert list(pairwise([1, 2, 3])) == [(1, 2), (2, 3)]
+
+    def test_short(self):
+        assert list(pairwise([1])) == []
+        assert list(pairwise([])) == []
+
+
+class TestEwma:
+    def test_first_sample_seeds(self):
+        filt = Ewma(0.5)
+        assert filt.update(10.0) == 10.0
+
+    def test_smooths(self):
+        filt = Ewma(0.5)
+        filt.update(10.0)
+        assert filt.update(20.0) == pytest.approx(15.0)
+
+    def test_alpha_one_passthrough(self):
+        filt = Ewma(1.0)
+        filt.update(1.0)
+        assert filt.update(100.0) == 100.0
+
+    def test_converges_to_constant(self):
+        filt = Ewma(0.3)
+        for _ in range(200):
+            filt.update(7.0)
+        assert filt.value == pytest.approx(7.0)
+
+    def test_reset(self):
+        filt = Ewma(0.5)
+        filt.update(10.0)
+        filt.reset()
+        assert filt.value is None
+        assert filt.update(2.0) == 2.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            Ewma(0.0)
+        with pytest.raises(ValueError):
+            Ewma(1.5)
+
+
+class TestRunningStats:
+    def test_empty_raises(self):
+        stats = RunningStats()
+        with pytest.raises(ValueError):
+            _ = stats.mean
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.push(4.0)
+        assert stats.mean == 4.0
+        assert stats.variance == 0.0
+        assert stats.min == 4.0
+        assert stats.max == 4.0
+
+    def test_matches_direct_computation(self):
+        values = [1.0, 2.0, 4.0, 8.0, 16.0]
+        stats = RunningStats()
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.mean == pytest.approx(mean)
+        assert stats.variance == pytest.approx(variance)
+        assert stats.stddev == pytest.approx(math.sqrt(variance))
+
+    def test_summary_empty(self):
+        assert RunningStats().summary() == {"count": 0}
+
+    def test_summary_keys(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        summary = stats.summary()
+        assert set(summary) == {"count", "mean", "stddev", "min", "max"}
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [3.0, 5.0, 9.0]
+        assert quantile(values, 0.0) == 3.0
+        assert quantile(values, 1.0) == 9.0
+
+    def test_single_value(self):
+        assert quantile([7.0], 0.25) == 7.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestIsClose:
+    def test_close(self):
+        assert is_close(1.0, 1.0 + 1e-12)
+
+    def test_far(self):
+        assert not is_close(1.0, 1.1)

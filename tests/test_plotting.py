@@ -1,0 +1,71 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_cdf_plot, ascii_histogram, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line == "▁▃▅█"
+        # Heights never decrease for a monotone series.
+        levels = [" ▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestCdfPlot:
+    def test_contains_axes_and_legend(self):
+        plot = ascii_cdf_plot({"walk": [0.2, 0.4, 0.9], "rot": [0.3, 0.5]})
+        assert "1.00 |" in plot
+        assert "walk" in plot and "rot" in plot
+
+    def test_markers_present(self):
+        plot = ascii_cdf_plot({"a": [1.0, 2.0, 3.0]})
+        assert "*" in plot
+
+    def test_distinct_markers_per_series(self):
+        plot = ascii_cdf_plot({"a": [1.0, 2.0], "b": [1.5, 2.5]})
+        assert "*" in plot and "o" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf_plot({})
+        with pytest.raises(ValueError):
+            ascii_cdf_plot({"a": []})
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        values = [0.1, 0.2, 0.2, 0.9]
+        text = ascii_histogram(values, bins=4)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in text.splitlines())
+        assert total == len(values)
+
+    def test_title(self):
+        text = ascii_histogram([1.0, 2.0], bins=2, title="My Hist")
+        assert text.splitlines()[0] == "My Hist"
+
+    def test_bars_scale(self):
+        text = ascii_histogram([1.0] * 10 + [2.0], bins=2, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20  # the dominant bin fills the width
+        assert lines[1].count("#") < 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([], bins=4)
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)

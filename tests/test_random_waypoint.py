@@ -1,0 +1,70 @@
+"""Tests for the random-waypoint mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vectors import Vec3
+from repro.mobility.random_waypoint import RandomWaypoint
+
+AREA = (0.0, 0.0, 30.0, 20.0)
+
+
+def make(seed=1, **kwargs):
+    kwargs.setdefault("speed_mps", 1.4)
+    return RandomWaypoint(AREA, rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_area(self):
+        model = make()
+        for t in np.linspace(0.0, model.total_time_s, 300):
+            position = model.position_at(float(t))
+            assert AREA[0] - 1e-9 <= position.x <= AREA[2] + 1e-9
+            assert AREA[1] - 1e-9 <= position.y <= AREA[3] + 1e-9
+
+    def test_speed_respected(self):
+        model = make()
+        measured = model.average_speed_mps(0.0, min(30.0, model.total_time_s),
+                                           steps=300)
+        assert measured == pytest.approx(1.4, rel=0.05)
+
+    def test_pure_function_of_time(self):
+        model = make(seed=5)
+        a = model.pose_at(7.3)
+        model.pose_at(50.0)
+        assert model.pose_at(7.3) == a
+
+    def test_deterministic_per_seed(self):
+        a = make(seed=9)
+        b = make(seed=9)
+        for t in (0.0, 5.0, 20.0):
+            assert a.pose_at(t) == b.pose_at(t)
+
+    def test_seeds_differ(self):
+        assert make(seed=1).position_at(10.0) != make(seed=2).position_at(10.0)
+
+    def test_horizon_covered(self):
+        model = make(horizon_s=60.0)
+        assert model.total_time_s >= 60.0
+
+    def test_explicit_start(self):
+        model = make(start=Vec3(15.0, 10.0))
+        assert model.position_at(0.0) == Vec3(15.0, 10.0)
+
+    def test_parks_at_end(self):
+        model = make(horizon_s=10.0)
+        end = model.position_at(model.total_time_s)
+        later = model.position_at(model.total_time_s + 100.0)
+        assert end == later
+
+    def test_validates_area(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint((0, 0, 0, 10), 1.0, np.random.default_rng(1))
+
+    def test_validates_speed(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(AREA, 0.0, np.random.default_rng(1))
+
+    def test_validates_horizon(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(AREA, 1.0, np.random.default_rng(1), horizon_s=0.0)

@@ -1,0 +1,220 @@
+"""Integration-style unit tests for the full Silent Tracker protocol.
+
+These run small end-to-end simulations on a deterministic channel so
+every assertion pins protocol behaviour, not channel luck.
+"""
+
+import pytest
+
+from repro.core.config import SilentTrackerConfig
+from repro.core.events import NeighborState, TrackerPhase
+from repro.core.silent_tracker import SilentTracker
+from repro.experiments.scenarios import build_cell_edge_deployment
+from repro.net.connection import ConnectionState
+from repro.net.deployment import DeploymentConfig
+from repro.net.handover import HandoverOutcome
+from repro.phy.channel import ChannelConfig
+
+
+def make_run(scenario="walk", seed=1, config=None, deterministic=True,
+             codebook="narrow", start_x=None):
+    deployment_config = DeploymentConfig(
+        master_seed=seed,
+        channel=ChannelConfig.deterministic() if deterministic else ChannelConfig(),
+    )
+    deployment, mobile = build_cell_edge_deployment(
+        seed,
+        mobile_codebook=codebook,
+        scenario=scenario,
+        config=deployment_config,
+        start_x=start_x,
+    )
+    tracker = SilentTracker(deployment, mobile, "cellA", config)
+    return deployment, mobile, tracker
+
+
+class TestInitialization:
+    def test_initial_connection(self):
+        deployment, mobile, tracker = make_run()
+        assert mobile.connection.connected
+        assert mobile.connection.serving_cell == "cellA"
+        assert deployment.station("cellA").is_attached("ue0")
+
+    def test_requires_known_serving_cell(self):
+        deployment, mobile, _ = make_run()
+        fresh_deployment, fresh_mobile = build_cell_edge_deployment(2)
+        with pytest.raises(ValueError):
+            SilentTracker(fresh_deployment, fresh_mobile, "nonexistent")
+
+    def test_cannot_start_twice(self):
+        _, _, tracker = make_run()
+        tracker.start()
+        with pytest.raises(RuntimeError):
+            tracker.start()
+
+
+class TestSearchAndTrack:
+    def test_edge_b_fires_at_start(self):
+        deployment, _, tracker = make_run()
+        tracker.start()
+        deployment.run(0.05)
+        assert deployment.metrics.counter("fsm.neighbor.B") == 1
+        assert tracker.timelines, "a timeline opens with the search"
+
+    def test_neighbor_found_and_tracked(self):
+        deployment, _, tracker = make_run()
+        tracker.start()
+        deployment.run(1.0)
+        assert deployment.metrics.counter("fsm.neighbor.C") >= 1
+        timeline = tracker.timelines[0]
+        assert timeline.found_s is not None
+
+    def test_serving_link_maintained_during_tracking(self):
+        deployment, mobile, tracker = make_run()
+        tracker.start()
+        deployment.run(1.0)
+        assert mobile.connection.state is not ConnectionState.IDLE
+
+    def test_serving_degraded_policy_defers_search(self):
+        config = SilentTrackerConfig(
+            search_policy="serving-degraded", edge_snr_threshold_db=-50.0
+        )
+        deployment, _, tracker = make_run(config=config)
+        tracker.start()
+        deployment.run(0.5)
+        # Threshold is unreachably low: search never starts.
+        assert tracker.tracker.state is NeighborState.IDLE
+
+
+class TestHandover:
+    def test_walk_completes_soft_handover(self):
+        deployment, mobile, tracker = make_run(scenario="walk", seed=3)
+        tracker.start()
+        deployment.run(6.0)
+        records = tracker.handover_log.records
+        completed = [r for r in records if r.complete_s is not None]
+        assert completed, "walking across the boundary must hand over"
+        first = completed[0]
+        assert first.outcome is HandoverOutcome.SOFT
+        assert first.target_cell == "cellB"
+        assert mobile.connection.serving_cell == "cellB"
+
+    def test_handover_rebinds_stations(self):
+        deployment, mobile, tracker = make_run(scenario="walk", seed=3)
+        tracker.start()
+        deployment.run(6.0)
+        assert deployment.station("cellB").is_attached("ue0")
+        assert not deployment.station("cellA").is_attached("ue0")
+
+    def test_timeline_ordering(self):
+        deployment, _, tracker = make_run(scenario="walk", seed=3)
+        tracker.start()
+        deployment.run(6.0)
+        timeline = next(t for t in tracker.timelines if t.complete_s is not None)
+        assert timeline.search_start_s <= timeline.found_s
+        assert timeline.found_s <= timeline.trigger_s
+        assert timeline.trigger_s <= timeline.complete_s
+        assert timeline.completion_time_s > 0
+        assert timeline.tracking_time_s > 0
+
+    def test_handover_trigger_margin_respected(self):
+        """With a huge margin T the trigger never fires on this walk."""
+        config = SilentTrackerConfig(handover_margin_db=60.0,
+                                     handover_hysteresis_db=1.0)
+        deployment, mobile, tracker = make_run(scenario="walk", seed=3,
+                                               config=config)
+        tracker.start()
+        deployment.run(4.0)
+        assert deployment.metrics.counter("handover.soft") == 0
+        assert mobile.connection.serving_cell == "cellA"
+
+    def test_soft_interruption_small(self):
+        deployment, _, tracker = make_run(scenario="walk", seed=3)
+        tracker.start()
+        deployment.run(6.0)
+        record = next(
+            r for r in tracker.handover_log.records if r.complete_s is not None
+        )
+        # Make-before-break: interruption well under the RLF timeout.
+        assert record.interruption_s < 0.2
+
+    def test_stop_halts_watchdog(self):
+        deployment, _, tracker = make_run()
+        tracker.start()
+        deployment.run(0.1)
+        tracker.stop()
+        fired_before = deployment.sim.events_fired
+        deployment.run(0.5)
+        # Only SSB bursts remain; the watchdog (10 ms period) is gone.
+        fired = deployment.sim.events_fired - fired_before
+        assert fired <= 0.5 / 0.020 * 3 + 5
+
+
+class TestFig2bStateView:
+    def test_initial_view(self):
+        _, _, tracker = make_run()
+        assert tracker.fig2b_state() in ("EO", "N-A/R")
+
+    def test_view_during_search(self):
+        deployment, _, tracker = make_run()
+        tracker.start()
+        deployment.run(0.03)
+        assert tracker.fig2b_state() == "N-A/R"
+
+    def test_view_during_tracking(self):
+        deployment, _, tracker = make_run(scenario="walk", seed=3)
+        tracker.start()
+        deployment.run(1.0)
+        if tracker.tracker.state is NeighborState.TRACKING:
+            assert tracker.fig2b_state() in ("N-RBA", "S-RBA", "CABM")
+
+
+class TestRotationScenario:
+    def test_rotation_forces_beam_switches(self):
+        """At 120 deg/s the tracker must adapt or re-acquire repeatedly."""
+        deployment, _, tracker = make_run(scenario="rotation", seed=5)
+        tracker.start()
+        deployment.run(3.0)
+        switches = tracker.tracker.adjacent_switches
+        reacq = tracker.tracker.reacquisitions
+        serving_switches = tracker.beamsurfer.mobile_switches
+        assert switches + reacq + serving_switches >= 3
+
+    def test_rotation_completes_handover(self):
+        deployment, mobile, tracker = make_run(scenario="rotation", seed=5)
+        tracker.start()
+        deployment.run(8.0)
+        completed = [
+            r for r in tracker.handover_log.records if r.complete_s is not None
+        ]
+        assert completed
+
+
+class TestVehicularScenario:
+    def test_vehicular_completes_handover(self):
+        deployment, mobile, tracker = make_run(scenario="vehicular", seed=7)
+        tracker.start()
+        deployment.run(4.0)
+        completed = [
+            r for r in tracker.handover_log.records if r.complete_s is not None
+        ]
+        assert completed
+        assert mobile.connection.serving_cell in ("cellB", "cellC")
+
+
+class TestReentry:
+    def test_context_loss_enters_reentry(self):
+        """Kill all cells' usefulness: the watchdog must drop the context."""
+        config = SilentTrackerConfig(rlf_timeout_s=0.05,
+                                     context_loss_timeout_s=0.15)
+        deployment, mobile, tracker = make_run(
+            scenario="walk", seed=9, config=config, codebook="omni"
+        )
+        # Omni codebook at 0 dBm BS power: serving detection fails, the
+        # context dies, and re-entry search begins.
+        tracker.start()
+        deployment.run(2.0)
+        assert deployment.metrics.counter("connection.context_lost") >= 1
+        assert tracker.phase is TrackerPhase.REENTRY or (
+            mobile.connection.serving_cell is not None
+        )

@@ -1,0 +1,93 @@
+"""Tests for analysis statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    cdf_at,
+    empirical_cdf,
+    mean_confidence_interval,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_output(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ps == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_last_probability_is_one(self):
+        _, ps = empirical_cdf([5.0, 1.0, 9.0, 2.0])
+        assert ps[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_cdf_at(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, 2.5) == 0.5
+        assert cdf_at(values, 0.0) == 0.0
+        assert cdf_at(values, 10.0) == 1.0
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == {"count": 0}
+
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary["count"] == 5
+        assert summary["mean"] == 3.0
+        assert summary["p50"] == 3.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+
+    def test_percentiles_ordered(self):
+        summary = summarize(list(range(100)))
+        assert summary["p10"] <= summary["p50"] <= summary["p90"]
+
+
+class TestConfidenceIntervals:
+    def test_mean_ci_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert low <= mean <= high
+
+    def test_single_sample_degenerate(self):
+        mean, low, high = mean_confidence_interval([5.0])
+        assert mean == low == high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_narrower_with_more_samples(self):
+        small = mean_confidence_interval([1.0, 2.0, 3.0] * 2)
+        large = mean_confidence_interval([1.0, 2.0, 3.0] * 50)
+        assert (large[2] - large[1]) < (small[2] - small[1])
+
+
+class TestProportions:
+    def test_success_rate(self):
+        assert success_rate(3, 4) == 0.75
+
+    def test_success_rate_validation(self):
+        with pytest.raises(ValueError):
+            success_rate(1, 0)
+        with pytest.raises(ValueError):
+            success_rate(5, 4)
+
+    def test_wilson_contains_point(self):
+        low, high = wilson_interval(8, 10)
+        assert low <= 0.8 <= high
+
+    def test_wilson_bounded(self):
+        low, high = wilson_interval(10, 10)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_sane_at_zero(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        assert high > 0.0

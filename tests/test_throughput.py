@@ -1,0 +1,79 @@
+"""Tests for the service-quality (throughput) monitor."""
+
+import pytest
+
+from repro.analysis.throughput import ServiceMonitor
+from repro.core.config import SilentTrackerConfig
+from repro.core.silent_tracker import SilentTracker
+from repro.experiments.scenarios import build_cell_edge_deployment
+
+
+def monitored_run(scenario="walk", seed=3, duration_s=4.0, config=None):
+    deployment, mobile = build_cell_edge_deployment(seed, scenario=scenario)
+    protocol = SilentTracker(deployment, mobile, "cellA", config)
+    monitor = ServiceMonitor(deployment, mobile, period_s=0.010)
+    protocol.start()
+    monitor.start()
+    deployment.run(duration_s)
+    monitor.stop()
+    protocol.stop()
+    return deployment, mobile, protocol, monitor
+
+
+class TestServiceMonitor:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return monitored_run()
+
+    def test_samples_on_grid(self, run):
+        _, _, _, monitor = run
+        samples = monitor.samples
+        assert len(samples) == pytest.approx(400, abs=3)
+        deltas = [
+            b.time_s - a.time_s for a, b in zip(samples, samples[1:])
+        ]
+        assert all(abs(d - 0.010) < 1e-9 for d in deltas)
+
+    def test_positive_rate_while_connected(self, run):
+        _, _, _, monitor = run
+        connected = [s for s in monitor.samples if s.serving_cell is not None]
+        assert connected
+        assert any(s.rate_bps > 1e9 for s in connected)
+
+    def test_mean_rate_positive(self, run):
+        _, _, _, monitor = run
+        assert monitor.mean_rate_bps() > 0.0
+
+    def test_outage_small_for_soft_handover(self, run):
+        _, _, protocol, monitor = run
+        if any(r.is_soft for r in protocol.handover_log.records):
+            # Make-before-break: outage is a small fraction of the run.
+            assert monitor.outage_time_s() < 1.0
+
+    def test_longest_outage_bounded_by_total(self, run):
+        _, _, _, monitor = run
+        assert monitor.longest_outage_s() <= monitor.outage_time_s() + 1e-9
+
+    def test_serving_cell_recorded_across_handover(self, run):
+        _, mobile, protocol, monitor = run
+        cells = {s.serving_cell for s in monitor.samples}
+        if any(r.complete_s is not None for r in protocol.handover_log.records):
+            assert "cellA" in cells and "cellB" in cells
+
+    def test_cannot_start_twice(self):
+        deployment, mobile = build_cell_edge_deployment(1)
+        monitor = ServiceMonitor(deployment, mobile)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.start()
+
+    def test_rejects_bad_period(self):
+        deployment, mobile = build_cell_edge_deployment(1)
+        with pytest.raises(ValueError):
+            ServiceMonitor(deployment, mobile, period_s=0.0)
+
+    def test_mean_rate_requires_samples(self):
+        deployment, mobile = build_cell_edge_deployment(1)
+        monitor = ServiceMonitor(deployment, mobile)
+        with pytest.raises(ValueError):
+            monitor.mean_rate_bps()

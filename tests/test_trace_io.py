@@ -1,0 +1,80 @@
+"""Tests for trace persistence (JSONL / CSV)."""
+
+import json
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+from repro.sim.trace_io import (
+    dump_csv,
+    dump_jsonl,
+    load_jsonl,
+    recorder_from_jsonl,
+)
+
+
+@pytest.fixture
+def recorder():
+    trace = TraceRecorder()
+    trace.emit(0.1, "fsm.neighbor", "ue0", edge="B")
+    trace.emit(0.2, "rach.msg1", "ue0", result="heard", attempt=1)
+    trace.emit(0.3, "handover.complete", "ue0", outcome="soft",
+               interruption_s=0.018)
+    return trace
+
+
+class TestJsonl:
+    def test_roundtrip(self, recorder, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = dump_jsonl(recorder.events, path)
+        assert written == 3
+        loaded = load_jsonl(path)
+        assert loaded == recorder.events
+
+    def test_recorder_from_file(self, recorder, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(recorder.events, path)
+        restored = recorder_from_jsonl(path)
+        assert restored.count(category="rach") == 1
+        assert restored.last(category="handover.complete").data["outcome"] == "soft"
+
+    def test_blank_lines_skipped(self, recorder, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_jsonl(recorder.events, path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_jsonl(path)) == 3
+
+    def test_malformed_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "category": "x", "node": "n"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_jsonl(path)
+
+    def test_missing_field_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            load_jsonl(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_jsonl(path) == []
+
+
+class TestCsv:
+    def test_header_and_rows(self, recorder, tmp_path):
+        path = tmp_path / "trace.csv"
+        written = dump_csv(recorder.events, path)
+        assert written == 3
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time,category,node,data"
+        assert len(lines) == 4
+
+    def test_data_column_is_json(self, recorder, tmp_path):
+        path = tmp_path / "trace.csv"
+        dump_csv(recorder.events, path)
+        last_line = path.read_text().strip().splitlines()[-1]
+        payload = last_line.split(",", 3)[3].strip('"').replace('""', '"')
+        assert json.loads(payload)["outcome"] == "soft"

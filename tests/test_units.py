@@ -1,0 +1,93 @@
+"""Unit tests for repro.util.units."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero(self):
+        assert units.db_to_linear(0.0) == 1.0
+
+    def test_db_to_linear_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_to_linear_negative(self):
+        assert units.db_to_linear(-10.0) == pytest.approx(0.1)
+
+    def test_linear_to_db_roundtrip(self):
+        for value in (0.001, 0.5, 1.0, 2.0, 1000.0):
+            assert units.db_to_linear(units.linear_to_db(value)) == pytest.approx(
+                value
+            )
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_three_db_is_factor_two(self):
+        assert units.db_to_linear(3.0) == pytest.approx(2.0, rel=0.01)
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert units.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_roundtrip(self):
+        for dbm in (-100.0, -30.0, 0.0, 23.0):
+            assert units.watts_to_dbm(units.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+    def test_mw_to_dbm(self):
+        assert units.mw_to_dbm(1.0) == pytest.approx(0.0)
+        assert units.mw_to_dbm(100.0) == pytest.approx(20.0)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-5.0)
+
+
+class TestThermalNoise:
+    def test_one_hz_reference(self):
+        assert units.thermal_noise_dbm(1.0) == pytest.approx(-174.0)
+
+    def test_gigahertz_band(self):
+        # -174 + 90 = -84 dBm over 1 GHz.
+        assert units.thermal_noise_dbm(1e9) == pytest.approx(-84.0)
+
+    def test_noise_figure_adds(self):
+        base = units.thermal_noise_dbm(1e9)
+        assert units.thermal_noise_dbm(1e9, noise_figure_db=8.0) == pytest.approx(
+            base + 8.0
+        )
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_dbm(0.0)
+
+
+class TestSpeedConversions:
+    def test_paper_vehicular_speed(self):
+        # The paper's 20 mph scenario.
+        assert units.mph_to_mps(20.0) == pytest.approx(8.9408)
+
+    def test_kmh(self):
+        assert units.kmh_to_mps(36.0) == pytest.approx(10.0)
+
+    def test_deg_per_s(self):
+        # The paper's 120 deg/s rotation.
+        assert units.deg_per_s_to_rad_per_s(120.0) == pytest.approx(
+            2.0 * math.pi / 3.0
+        )
