@@ -1,3 +1,28 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-silent-tracker",
+    version="0.2.0",
+    description=(
+        "Reproduction of Silent Tracker (SIGCOMM '21): beam tracking for "
+        "soft handover in mmWave networks, with a parallel "
+        "experiment-campaign toolkit"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Networking",
+    ],
+)

@@ -1,0 +1,338 @@
+"""Campaign execution: serial or multiprocessing, always deterministic.
+
+Each cell is an independent simulation: it builds its own deployment
+from the seed recorded *in the cell*, so a cell's result is a pure
+function of the cell content — never of which worker ran it, in what
+order, or alongside what else.  That is the whole determinism story:
+``--workers 8`` and ``--workers 1`` produce byte-identical artifacts.
+
+Only the driver process writes artifacts; workers ship payloads back
+over the pool pipe.  Failed cells are collected (not written), the rest
+of the campaign completes, and a :class:`CampaignError` summarising the
+failures is raised at the end — a subsequent resume retries exactly the
+failed/missing cells.
+
+Experiment kinds are registered in :data:`EXPERIMENTS`; the trial
+functions are imported lazily so ``repro.experiments`` modules can in
+turn import this package for their thin one-shot wrappers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.campaign.progress import NullProgress, ProgressReporter
+from repro.campaign.spec import CampaignCell, CampaignSpec, build_config
+from repro.campaign.store import ArtifactStore
+
+PathLike = Union[str, Path]
+
+
+class CampaignError(RuntimeError):
+    """Raised for campaign misuse or failed cells.
+
+    ``failures`` maps cell ID -> full traceback text for cells that
+    raised during execution (empty for usage errors).
+    """
+
+    def __init__(self, message: str, failures: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.failures = dict(failures or {})
+
+
+# --------------------------------------------------------------- experiments
+def _run_search(cell: CampaignCell) -> dict:
+    from repro.experiments.fig2a import run_search_trial
+
+    result = run_search_trial(
+        cell.protocol,
+        scenario=cell.scenario,
+        seed=cell.seed,
+        deadline_s=float(cell.params.get("deadline_s", 1.0)),
+    )
+    return dataclasses.asdict(result)
+
+
+def _decode_search(payload: dict):
+    from repro.experiments.fig2a import SearchTrialResult
+
+    return SearchTrialResult(**payload)
+
+
+def _run_tracking(cell: CampaignCell) -> dict:
+    from repro.experiments.fig2c import run_tracking_trial
+
+    result = run_tracking_trial(
+        cell.scenario,
+        seed=cell.seed,
+        config=build_config(cell.overrides),
+        codebook=cell.protocol,
+        duration_s=cell.params.get("duration_s"),
+    )
+    payload = dataclasses.asdict(result)
+    payload["outcome"] = result.outcome.value if result.outcome else None
+    return payload
+
+
+def _decode_tracking(payload: dict):
+    from repro.experiments.fig2c import TrackingTrialResult
+    from repro.net.handover import HandoverOutcome
+
+    record = dict(payload)
+    outcome = record.get("outcome")
+    record["outcome"] = HandoverOutcome(outcome) if outcome else None
+    return TrackingTrialResult(**record)
+
+
+def _run_comparison(cell: CampaignCell) -> dict:
+    from repro.experiments.comparison import run_comparison_trial
+
+    return dataclasses.asdict(
+        run_comparison_trial(
+            cell.protocol,
+            cell.scenario,
+            seed=cell.seed,
+            config=build_config(cell.overrides),
+            codebook=str(cell.params.get("codebook", "narrow")),
+            duration_s=cell.params.get("duration_s"),
+        )
+    )
+
+
+def _decode_comparison(payload: dict):
+    from repro.experiments.comparison import ComparisonTrialResult
+
+    return ComparisonTrialResult(**payload)
+
+
+def _run_workload(cell: CampaignCell) -> dict:
+    from repro.experiments.workloads import (
+        detection_duty_cycle,
+        generate_rss_trace,
+    )
+
+    trace = generate_rss_trace(
+        cell_id=str(cell.params.get("cell", "cellB")),
+        scenario=cell.scenario,
+        seed=cell.seed,
+        duration_s=float(cell.params.get("duration_s", 4.0)),
+        period_s=float(cell.params.get("period_s", 0.020)),
+        rx_beam_policy=cell.protocol,
+        fixed_rx_beam=int(cell.params.get("fixed_rx_beam", 0)),
+    )
+    return {
+        "points": [dataclasses.asdict(point) for point in trace],
+        "duty_cycle": detection_duty_cycle(trace),
+    }
+
+
+def _decode_workload(payload: dict):
+    from repro.experiments.workloads import RssTracePoint
+
+    return [RssTracePoint(**point) for point in payload["points"]]
+
+
+@dataclass(frozen=True)
+class ExperimentKind:
+    """How to execute one cell of a kind and decode its artifact."""
+
+    run: Callable[[CampaignCell], dict]
+    decode: Callable[[dict], object]
+
+
+EXPERIMENTS: Dict[str, ExperimentKind] = {
+    "search": ExperimentKind(_run_search, _decode_search),
+    "tracking": ExperimentKind(_run_tracking, _decode_tracking),
+    "comparison": ExperimentKind(_run_comparison, _decode_comparison),
+    "workload": ExperimentKind(_run_workload, _decode_workload),
+}
+
+
+def execute_cell(cell: CampaignCell) -> dict:
+    """Run one cell to completion; returns its JSON-safe payload."""
+    kind = EXPERIMENTS.get(cell.experiment)
+    if kind is None:
+        raise CampaignError(
+            f"no runner for experiment kind {cell.experiment!r}", {}
+        )
+    return kind.run(cell)
+
+
+def decode_payload(experiment: str, payload: dict):
+    """Rebuild the trial dataclass an artifact payload serialised."""
+    return EXPERIMENTS[experiment].decode(payload)
+
+
+def _execute_cell_task(record: dict) -> Tuple[str, Optional[dict], Optional[str], float]:
+    """Pool task: ``(cell_id, payload | None, error | None, elapsed_s)``.
+
+    ``error`` is the full traceback text: the exception object itself
+    cannot cross the pool pipe reliably, but the caller still needs to
+    see *where* a trial crashed, not just the exception type.
+    """
+    cell = CampaignCell.from_dict(record)
+    started = time.monotonic()
+    try:
+        payload = execute_cell(cell)
+        return record["cell_id"], payload, None, time.monotonic() - started
+    except Exception:  # collected, reported, retried on resume
+        message = traceback.format_exc()
+        return record["cell_id"], None, message, time.monotonic() - started
+
+
+# -------------------------------------------------------------------- driver
+@dataclass
+class CampaignResult:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    payloads: Dict[str, dict] = field(default_factory=dict)
+    executed: int = 0
+    skipped: int = 0
+    failures: Dict[str, str] = field(default_factory=dict)
+    out_dir: Optional[Path] = None
+
+    @property
+    def total_cells(self) -> int:
+        return self.spec.n_cells
+
+    def results_in_order(self) -> Iterator[Tuple[CampaignCell, dict]]:
+        """Completed ``(cell, payload)`` pairs in grid order."""
+        for cell in self.spec.iter_cells():
+            payload = self.payloads.get(cell.cell_id)
+            if payload is not None:
+                yield cell, payload
+
+    def trials_in_order(self) -> Iterator[Tuple[CampaignCell, object]]:
+        """Like :meth:`results_in_order`, with payloads decoded."""
+        for cell, payload in self.results_in_order():
+            yield cell, decode_payload(cell.experiment, payload)
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: Optional[PathLike] = None,
+    workers: int = 1,
+    resume: bool = True,
+    progress: Optional[ProgressReporter] = None,
+    mp_context: Optional[str] = None,
+) -> CampaignResult:
+    """Execute a campaign, optionally persisting and resuming artifacts.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid to run.
+    out_dir:
+        Artifact directory.  ``None`` keeps results in memory only (the
+        one-shot experiment wrappers use this mode).
+    workers:
+        Worker processes.  ``<= 1`` runs serially in-process, which is
+        also the reference for the bit-identical-artifacts guarantee.
+    resume:
+        Skip cells whose artifact already exists in ``out_dir``.
+    progress:
+        Reporter for start/cell/finish hooks; default silent.
+    mp_context:
+        Multiprocessing start method override (``fork`` / ``spawn`` /
+        ``forkserver``); default prefers ``fork`` where available.
+    """
+    if workers < 1:
+        raise CampaignError(f"workers must be >= 1, got {workers!r}")
+    reporter = progress if progress is not None else NullProgress()
+    cells = spec.expand()
+    by_id = {cell.cell_id: cell for cell in cells}
+
+    store: Optional[ArtifactStore] = None
+    result = CampaignResult(spec=spec)
+    if out_dir is not None:
+        store = ArtifactStore(out_dir)
+        store.initialize(spec)
+        result.out_dir = store.root
+
+    done_ids = store.completed_ids() & set(by_id) if (store and resume) else set()
+    pending = [cell for cell in cells if cell.cell_id not in done_ids]
+    result.skipped = len(done_ids)
+    reporter.on_start(len(cells), len(done_ids))
+    started = time.monotonic()
+
+    for cell_id in done_ids:
+        _, payload = store.load_cell(cell_id)
+        result.payloads[cell_id] = payload
+
+    def record_outcome(
+        cell_id: str, payload: Optional[dict], error: Optional[str], elapsed: float
+    ) -> None:
+        cell = by_id[cell_id]
+        if error is not None:
+            result.failures[cell_id] = error
+        else:
+            result.payloads[cell_id] = payload
+            if store is not None:
+                store.write_cell(cell, payload)
+        result.executed += 1
+        reporter.on_cell_done(cell, error is None, elapsed)
+
+    if pending:
+        if workers <= 1 or len(pending) == 1:
+            for cell in pending:
+                record_outcome(*_execute_cell_task(cell.to_dict()))
+        else:
+            ctx = multiprocessing.get_context(mp_context) if mp_context else _default_context()
+            pool_size = min(workers, len(pending))
+            with ctx.Pool(processes=pool_size) as pool:
+                tasks = [cell.to_dict() for cell in pending]
+                for outcome in pool.imap_unordered(
+                    _execute_cell_task, tasks, chunksize=1
+                ):
+                    record_outcome(*outcome)
+
+    reporter.on_finish(
+        result.executed, len(result.failures), time.monotonic() - started
+    )
+    if result.failures:
+        # Headline: the terminal exception line per cell.  Full
+        # tracebacks ride along on the exception's ``failures`` attr.
+        preview = "; ".join(
+            f"{cell_id}: {message.strip().splitlines()[-1]}"
+            for cell_id, message in list(result.failures.items())[:3]
+        )
+        tracebacks = "\n".join(
+            f"--- cell {cell_id} ---\n{message}"
+            for cell_id, message in result.failures.items()
+        )
+        raise CampaignError(
+            f"{len(result.failures)}/{len(pending)} campaign cells failed "
+            f"({preview})\n{tracebacks}",
+            result.failures,
+        )
+    return result
+
+
+def resume_campaign(
+    out_dir: PathLike,
+    workers: int = 1,
+    progress: Optional[ProgressReporter] = None,
+    mp_context: Optional[str] = None,
+) -> CampaignResult:
+    """Resume the campaign recorded in ``out_dir``'s manifest."""
+    spec = ArtifactStore(out_dir).load_spec()
+    return run_campaign(
+        spec,
+        out_dir=out_dir,
+        workers=workers,
+        resume=True,
+        progress=progress,
+        mp_context=mp_context,
+    )

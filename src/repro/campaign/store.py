@@ -1,0 +1,184 @@
+"""Persistent campaign artifacts: one JSON file per cell plus a manifest.
+
+Layout under the campaign output directory::
+
+    <root>/manifest.json          # spec + expanded cell index
+    <root>/cells/<cell_id>.json   # {"cell": {...}, "payload": {...}}
+
+Design rules:
+
+* **Canonical bytes** — every file is canonical JSON (sorted keys, fixed
+  separators, trailing newline), so artifacts are byte-identical no
+  matter how many workers produced the results or in what order they
+  finished.
+* **Atomic writes** — artifacts land via write-to-temp + ``os.replace``;
+  a run killed mid-write leaves no half-written artifact, which is what
+  makes resume trustworthy.
+* **Single writer** — only the campaign driver process writes; workers
+  return payloads over the pool pipe.  No cross-process file locking is
+  needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.campaign.spec import CampaignCell, CampaignSpec, canonical_json
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+CELL_DIR_NAME = "cells"
+STORE_FORMAT = 1
+
+
+class StoreError(RuntimeError):
+    """Raised for artifact-store misuse or on-disk corruption."""
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class ArtifactStore:
+    """Reads and writes one campaign's on-disk artifacts."""
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        self._cell_dir = self._root / CELL_DIR_NAME
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def manifest_path(self) -> Path:
+        return self._root / MANIFEST_NAME
+
+    def cell_path(self, cell_id: str) -> Path:
+        return self._cell_dir / f"{cell_id}.json"
+
+    # ---------------------------------------------------------------- manifest
+    def initialize(self, spec: CampaignSpec) -> None:
+        """Create the directory layout and manifest for ``spec``.
+
+        Re-initialising with the *same* spec (by content hash) is the
+        resume path and is a no-op; a different spec over the same
+        directory is refused so artifacts from unrelated campaigns never
+        mix.
+        """
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._cell_dir.mkdir(exist_ok=True)
+        existing = self.load_manifest_record()
+        if existing is not None:
+            if existing.get("spec_hash") != spec.spec_hash:
+                raise StoreError(
+                    f"{self._root} already holds campaign "
+                    f"{existing.get('name')!r} with a different spec "
+                    f"(hash {existing.get('spec_hash')} != {spec.spec_hash}); "
+                    "use a fresh output directory"
+                )
+            return
+        record = {
+            "format": STORE_FORMAT,
+            "name": spec.name,
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash,
+            "cells": [
+                {
+                    "cell_id": cell.cell_id,
+                    "scenario": cell.scenario,
+                    "protocol": cell.protocol,
+                    "override_label": cell.override_label,
+                    "seed": cell.seed,
+                }
+                for cell in spec.iter_cells()
+            ],
+        }
+        _atomic_write_text(self.manifest_path, canonical_json(record) + "\n")
+
+    def load_manifest_record(self) -> Optional[dict]:
+        """The raw manifest dict, or ``None`` when absent."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            record = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"{self.manifest_path}: malformed manifest: {error}"
+            ) from error
+        if record.get("format") != STORE_FORMAT:
+            raise StoreError(
+                f"{self.manifest_path}: unsupported format "
+                f"{record.get('format')!r} (expected {STORE_FORMAT})"
+            )
+        return record
+
+    def load_spec(self) -> CampaignSpec:
+        """The campaign spec recorded in the manifest."""
+        record = self.load_manifest_record()
+        if record is None:
+            raise StoreError(f"{self._root}: no campaign manifest found")
+        return CampaignSpec.from_dict(record["spec"])
+
+    # ------------------------------------------------------------------- cells
+    def write_cell(self, cell: CampaignCell, payload: dict) -> Path:
+        """Persist one cell's result artifact (atomic, canonical bytes)."""
+        self._cell_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cell_path(cell.cell_id)
+        record = {"cell": cell.to_dict(), "payload": payload}
+        _atomic_write_text(path, canonical_json(record) + "\n")
+        return path
+
+    def has_cell(self, cell_id: str) -> bool:
+        return self.cell_path(cell_id).exists()
+
+    def completed_ids(self) -> Set[str]:
+        """Cell IDs with a readable, self-consistent artifact on disk.
+
+        A file that fails to parse or whose recorded ID mismatches its
+        name is treated as missing (it will simply be re-run), so a
+        partially corrupted store degrades to extra work, not wrong
+        results.
+        """
+        done: Set[str] = set()
+        if not self._cell_dir.is_dir():
+            return done
+        for path in self._cell_dir.glob("*.json"):
+            cell_id = path.stem
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                continue
+            if record.get("cell", {}).get("cell_id") == cell_id:
+                done.add(cell_id)
+        return done
+
+    def load_cell(self, cell_id: str) -> Tuple[CampaignCell, dict]:
+        """One cell's ``(cell, payload)`` from disk."""
+        path = self.cell_path(cell_id)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreError(f"no artifact for cell {cell_id}") from None
+        except json.JSONDecodeError as error:
+            raise StoreError(f"{path}: malformed artifact: {error}") from error
+        return CampaignCell.from_dict(record["cell"]), record["payload"]
+
+    def iter_results(self) -> Iterator[Tuple[CampaignCell, dict]]:
+        """All completed ``(cell, payload)`` pairs, in manifest order."""
+        record = self.load_manifest_record()
+        if record is None:
+            raise StoreError(f"{self._root}: no campaign manifest found")
+        for entry in record["cells"]:
+            cell_id = entry["cell_id"]
+            if self.has_cell(cell_id):
+                yield self.load_cell(cell_id)
+
+    def load_results(self) -> List[Tuple[CampaignCell, dict]]:
+        return list(self.iter_results())

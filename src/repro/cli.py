@@ -8,6 +8,8 @@ Commands
 ``compare``     Silent Tracker vs reactive vs oracle.
 ``fsm``         print the Fig. 2b state machine (ASCII or DOT).
 ``report``      full markdown reproduction report.
+``campaign``    parallel experiment campaigns with persistent
+                artifacts: ``run`` / ``resume`` / ``summarize``.
 """
 
 from __future__ import annotations
@@ -18,6 +20,17 @@ from typing import List, Optional
 
 from repro.analysis.stats import empirical_cdf, summarize
 from repro.analysis.tables import format_cdf_series, format_table
+from repro.campaign.runner import CampaignError
+from repro.campaign.spec import EXPERIMENT_KINDS, SpecError
+from repro.campaign.store import StoreError
+
+#: Protocol-axis default per experiment kind when built from CLI flags.
+_CAMPAIGN_DEFAULT_PROTOCOLS = {
+    "search": "narrow,wide,omni",
+    "tracking": "narrow",
+    "comparison": "silent-tracker,reactive,oracle",
+    "workload": "best,fixed",
+}
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -47,7 +60,8 @@ def _cmd_fig2a(args: argparse.Namespace) -> int:
     from repro.experiments.fig2a import run_fig2a
 
     results = run_fig2a(
-        n_trials=args.trials, scenario=args.scenario, base_seed=args.seed
+        n_trials=args.trials, scenario=args.scenario, base_seed=args.seed,
+        workers=args.workers,
     )
     rows = []
     for kind in ("narrow", "wide", "omni"):
@@ -74,7 +88,9 @@ def _cmd_fig2a(args: argparse.Namespace) -> int:
 def _cmd_fig2c(args: argparse.Namespace) -> int:
     from repro.experiments.fig2c import run_fig2c
 
-    results = run_fig2c(n_trials=args.trials, base_seed=args.seed)
+    results = run_fig2c(
+        n_trials=args.trials, base_seed=args.seed, workers=args.workers
+    )
     rows = []
     for scenario in ("walk", "rotation", "vehicular"):
         data = results[scenario]
@@ -120,7 +136,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
 
     results = run_comparison(
-        scenario=args.scenario, n_trials=args.trials, base_seed=args.seed
+        scenario=args.scenario, n_trials=args.trials, base_seed=args.seed,
+        workers=args.workers,
     )
     rows = [
         [
@@ -166,6 +183,83 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_summary(spec, pairs, completed: int) -> None:
+    from repro.campaign.aggregate import summarize_campaign
+
+    headers, rows = summarize_campaign(spec, pairs)
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"campaign {spec.name!r} ({spec.experiment}, "
+                f"{completed}/{spec.n_cells} cells)"
+            ),
+        )
+    )
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from repro.campaign.spec import CampaignSpec, load_spec
+
+    if args.spec:
+        return load_spec(args.spec)
+    if not args.experiment:
+        raise SystemExit("campaign run: provide --spec FILE or --experiment KIND")
+    protocols = args.protocols or _CAMPAIGN_DEFAULT_PROTOCOLS[args.experiment]
+    return CampaignSpec(
+        name=args.name,
+        experiment=args.experiment,
+        scenarios=tuple(s for s in args.scenarios.split(",") if s),
+        protocols=tuple(p for p in protocols.split(",") if p),
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign.progress import ConsoleProgress
+    from repro.campaign.runner import run_campaign
+
+    spec = _campaign_spec_from_args(args)
+    result = run_campaign(
+        spec,
+        out_dir=args.out,
+        workers=args.workers,
+        resume=not args.no_resume,
+        progress=None if args.quiet else ConsoleProgress(),
+    )
+    _print_campaign_summary(
+        spec, result.results_in_order(), len(result.payloads)
+    )
+    if args.out:
+        print(f"artifacts in {result.out_dir}")
+    return 0
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from repro.campaign.progress import ConsoleProgress
+    from repro.campaign.runner import resume_campaign
+
+    result = resume_campaign(
+        args.out,
+        workers=args.workers,
+        progress=None if args.quiet else ConsoleProgress(),
+    )
+    _print_campaign_summary(
+        result.spec, result.results_in_order(), len(result.payloads)
+    )
+    return 0
+
+
+def _cmd_campaign_summarize(args: argparse.Namespace) -> int:
+    from repro.campaign.aggregate import load_campaign
+
+    spec, pairs = load_campaign(args.out)
+    _print_campaign_summary(spec, pairs, len(pairs))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -185,11 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig2a.add_argument("--scenario", default="walk",
                        choices=("walk", "rotation", "vehicular"))
     fig2a.add_argument("--seed", type=int, default=100)
+    fig2a.add_argument("--workers", type=int, default=1)
     fig2a.set_defaults(func=_cmd_fig2a)
 
     fig2c = sub.add_parser("fig2c", help="reproduce Fig. 2c")
     fig2c.add_argument("--trials", type=int, default=20)
     fig2c.add_argument("--seed", type=int, default=200)
+    fig2c.add_argument("--workers", type=int, default=1)
     fig2c.add_argument("--cdf", action="store_true",
                        help="print the CDF series too")
     fig2c.set_defaults(func=_cmd_fig2c)
@@ -199,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("walk", "rotation", "vehicular"))
     compare.add_argument("--trials", type=int, default=10)
     compare.add_argument("--seed", type=int, default=700)
+    compare.add_argument("--workers", type=int, default=1)
     compare.set_defaults(func=_cmd_compare)
 
     fsm = sub.add_parser("fsm", help="print the Fig. 2b state machine")
@@ -213,13 +310,68 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None,
                         help="write markdown here instead of stdout")
     report.set_defaults(func=_cmd_report)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel experiment campaigns with persistent artifacts",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    run = campaign_sub.add_parser("run", help="run a campaign grid")
+    run.add_argument("--spec", default=None,
+                     help="campaign spec JSON file (overrides grid flags)")
+    run.add_argument("--name", default="campaign",
+                     help="campaign name when built from flags")
+    run.add_argument("--experiment", default=None, choices=EXPERIMENT_KINDS,
+                     help="experiment kind when no --spec is given")
+    run.add_argument("--scenarios", default="walk,rotation,vehicular",
+                     help="comma-separated mobility scenarios")
+    run.add_argument("--protocols", default=None,
+                     help="comma-separated protocol arms "
+                          "(default depends on --experiment)")
+    run.add_argument("--seeds", type=int, default=6,
+                     help="trials per (scenario, protocol, override) arm")
+    run.add_argument("--base-seed", type=int, default=0)
+    run.add_argument("--out", default=None,
+                     help="artifact directory (omit for in-memory run)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes (results identical to serial)")
+    run.add_argument("--no-resume", action="store_true",
+                     help="re-run cells even when artifacts exist")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-cell progress lines")
+    run.set_defaults(func=_cmd_campaign_run)
+
+    resume = campaign_sub.add_parser(
+        "resume", help="finish the campaign recorded in --out"
+    )
+    resume.add_argument("--out", required=True,
+                        help="artifact directory with a campaign manifest")
+    resume.add_argument("--workers", type=int, default=1)
+    resume.add_argument("--quiet", action="store_true")
+    resume.set_defaults(func=_cmd_campaign_resume)
+
+    summarize_cmd = campaign_sub.add_parser(
+        "summarize", help="aggregate completed artifacts in --out"
+    )
+    summarize_cmd.add_argument("--out", required=True,
+                               help="artifact directory with a campaign "
+                                    "manifest")
+    summarize_cmd.set_defaults(func=_cmd_campaign_summarize)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (CampaignError, SpecError, StoreError) as error:
+        # Operational campaign errors (bad spec, wrong directory, failed
+        # cells) are user-facing: a message beats a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,9 +17,15 @@ from repro.experiments.scenarios import (
     make_mobile_codebook,
     make_trajectory,
 )
-from repro.experiments.fig2a import SearchTrialResult, run_fig2a, run_search_trial
+from repro.experiments.fig2a import (
+    SearchTrialResult,
+    fig2a_spec,
+    run_fig2a,
+    run_search_trial,
+)
 from repro.experiments.fig2c import (
     TrackingTrialResult,
+    fig2c_spec,
     run_fig2c,
     run_tracking_trial,
 )
@@ -29,6 +35,8 @@ __all__ = [
     "SearchTrialResult",
     "TrackingTrialResult",
     "build_cell_edge_deployment",
+    "fig2a_spec",
+    "fig2c_spec",
     "make_mobile_codebook",
     "make_trajectory",
     "run_fig2a",

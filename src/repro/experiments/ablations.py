@@ -7,12 +7,37 @@ the analysis a full-paper evaluation would include.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List, Sequence
 
+from repro.campaign.aggregate import aggregate_by_protocol, aggregate_sweep
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, config_to_overrides
 from repro.core.beamsurfer import BeamSurferConfig
 from repro.core.config import SilentTrackerConfig
-from repro.experiments.fig2c import TrackingTrialResult, run_tracking_trial
+from repro.experiments.fig2c import TrackingTrialResult
+
+
+def sweep_spec(
+    configs: Dict[str, SilentTrackerConfig],
+    scenario: str,
+    n_trials: int,
+    base_seed: int,
+    codebook: str = "narrow",
+    name: str = "ablation",
+) -> CampaignSpec:
+    """An ablation sweep as a campaign grid (override-label x seed)."""
+    return CampaignSpec(
+        name=name,
+        experiment="tracking",
+        scenarios=(scenario,),
+        protocols=(codebook,),
+        seeds=n_trials,
+        base_seed=base_seed,
+        overrides={
+            label: config_to_overrides(config)
+            for label, config in configs.items()
+        },
+    )
 
 
 def _run_sweep(
@@ -21,16 +46,11 @@ def _run_sweep(
     n_trials: int,
     base_seed: int,
     codebook: str = "narrow",
+    workers: int = 1,
 ) -> Dict[str, List[TrackingTrialResult]]:
-    return {
-        label: [
-            run_tracking_trial(
-                scenario, seed=base_seed + k, config=config, codebook=codebook
-            )
-            for k in range(n_trials)
-        ]
-        for label, config in configs.items()
-    }
+    spec = sweep_spec(configs, scenario, n_trials, base_seed, codebook)
+    result = run_campaign(spec, workers=workers)
+    return aggregate_sweep(result.results_in_order())
 
 
 def sweep_handover_margin(
@@ -38,6 +58,7 @@ def sweep_handover_margin(
     scenario: str = "walk",
     n_trials: int = 20,
     base_seed: int = 300,
+    workers: int = 1,
 ) -> Dict[str, List[TrackingTrialResult]]:
     """Sweep the margin T of edge E.
 
@@ -50,7 +71,7 @@ def sweep_handover_margin(
         configs[f"T={margin:g}dB"] = SilentTrackerConfig(
             handover_margin_db=margin, handover_hysteresis_db=hysteresis
         )
-    return _run_sweep(configs, scenario, n_trials, base_seed)
+    return _run_sweep(configs, scenario, n_trials, base_seed, workers=workers)
 
 
 def sweep_adapt_threshold(
@@ -58,6 +79,7 @@ def sweep_adapt_threshold(
     scenario: str = "rotation",
     n_trials: int = 20,
     base_seed: int = 400,
+    workers: int = 1,
 ) -> Dict[str, List[TrackingTrialResult]]:
     """Sweep the 3 dB adaptation threshold (edges A/G/H).
 
@@ -70,25 +92,31 @@ def sweep_adapt_threshold(
             adapt_threshold_db=threshold,
             beamsurfer=BeamSurferConfig(adapt_threshold_db=threshold),
         )
-    return _run_sweep(configs, scenario, n_trials, base_seed)
+    return _run_sweep(configs, scenario, n_trials, base_seed, workers=workers)
 
 
 def sweep_codebook_beamwidth(
     scenario: str = "walk",
     n_trials: int = 20,
     base_seed: int = 500,
+    workers: int = 1,
 ) -> Dict[str, List[TrackingTrialResult]]:
-    """Sweep the mobile codebook granularity (narrow vs wide vs omni)."""
-    config = SilentTrackerConfig()
-    return {
-        kind: [
-            run_tracking_trial(
-                scenario, seed=base_seed + k, config=config, codebook=kind
-            )
-            for k in range(n_trials)
-        ]
-        for kind in ("narrow", "wide", "omni")
-    }
+    """Sweep the mobile codebook granularity (narrow vs wide vs omni).
+
+    The codebook is the campaign's protocol axis, so the grouping here
+    is by protocol rather than by override label.
+    """
+    spec = CampaignSpec(
+        name="ablation-codebook",
+        experiment="tracking",
+        scenarios=(scenario,),
+        protocols=("narrow", "wide", "omni"),
+        seeds=n_trials,
+        base_seed=base_seed,
+        overrides={"default": config_to_overrides(SilentTrackerConfig())},
+    )
+    result = run_campaign(spec, workers=workers)
+    return aggregate_by_protocol(result.results_in_order())
 
 
 def sweep_loss_threshold(
@@ -96,6 +124,7 @@ def sweep_loss_threshold(
     scenario: str = "vehicular",
     n_trials: int = 20,
     base_seed: int = 600,
+    workers: int = 1,
 ) -> Dict[str, List[TrackingTrialResult]]:
     """Sweep the 10 dB loss threshold (edge D)."""
     configs = {}
@@ -103,7 +132,7 @@ def sweep_loss_threshold(
         configs[f"loss={threshold:g}dB"] = SilentTrackerConfig(
             loss_threshold_db=threshold
         )
-    return _run_sweep(configs, scenario, n_trials, base_seed)
+    return _run_sweep(configs, scenario, n_trials, base_seed, workers=workers)
 
 
 def summarize_sweep(

@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.campaign.aggregate import aggregate_comparison
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.core.baselines import make_baseline
 from repro.core.config import SilentTrackerConfig
 from repro.experiments.scenarios import build_cell_edge_deployment
@@ -74,20 +77,44 @@ def run_comparison_trial(
     )
 
 
+def comparison_spec(
+    scenario: str = "vehicular",
+    n_trials: int = 20,
+    base_seed: int = 700,
+    protocols: tuple = ("silent-tracker", "reactive", "oracle"),
+    name: str = "comparison",
+) -> CampaignSpec:
+    """The baseline comparison as a campaign grid (protocol x seed)."""
+    return CampaignSpec(
+        name=name,
+        experiment="comparison",
+        scenarios=(scenario,),
+        protocols=tuple(protocols),
+        seeds=n_trials,
+        base_seed=base_seed,
+    )
+
+
 def run_comparison(
     scenario: str = "vehicular",
     n_trials: int = 20,
     base_seed: int = 700,
     protocols: tuple = ("silent-tracker", "reactive", "oracle"),
+    workers: int = 1,
 ) -> Dict[str, List[ComparisonTrialResult]]:
-    """All protocol arms over the same seeds (paired comparison)."""
-    return {
-        name: [
-            run_comparison_trial(name, scenario, seed=base_seed + k)
-            for k in range(n_trials)
-        ]
-        for name in protocols
-    }
+    """All protocol arms over the same seeds (paired comparison).
+
+    Thin wrapper over :func:`repro.campaign.runner.run_campaign` on the
+    :func:`comparison_spec` grid.
+    """
+    spec = comparison_spec(
+        scenario=scenario,
+        n_trials=n_trials,
+        base_seed=base_seed,
+        protocols=protocols,
+    )
+    result = run_campaign(spec, workers=workers)
+    return aggregate_comparison(result.results_in_order())
 
 
 def summarize_comparison(

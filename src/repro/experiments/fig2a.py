@@ -18,9 +18,11 @@ the detection floor where the omni antenna hears nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.analysis.stats import summarize, success_rate
+from repro.campaign.aggregate import aggregate_search
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.core.events import NeighborState
 from repro.core.neighbor_tracker import NeighborTracker
 from repro.experiments.scenarios import build_cell_edge_deployment
@@ -100,38 +102,50 @@ def run_search_trial(
     )
 
 
+def fig2a_spec(
+    n_trials: int = 40,
+    scenario: str = "walk",
+    deadline_s: float = 1.0,
+    base_seed: int = 100,
+    codebooks: tuple = ("narrow", "wide", "omni"),
+    name: str = "fig2a",
+) -> CampaignSpec:
+    """The Fig. 2a sweep as a campaign grid (codebook x seed)."""
+    return CampaignSpec(
+        name=name,
+        experiment="search",
+        scenarios=(scenario,),
+        protocols=tuple(codebooks),
+        seeds=n_trials,
+        base_seed=base_seed,
+        params={"deadline_s": deadline_s},
+    )
+
+
 def run_fig2a(
     n_trials: int = 40,
     scenario: str = "walk",
     deadline_s: float = 1.0,
     base_seed: int = 100,
     codebooks: tuple = ("narrow", "wide", "omni"),
+    workers: int = 1,
 ) -> Dict[str, dict]:
     """Both Fig. 2a panels for the given mobility scenario.
 
-    Returns, per codebook kind::
+    Thin wrapper over :func:`repro.campaign.runner.run_campaign` on the
+    :func:`fig2a_spec` grid (in-memory; pass ``workers`` to fan the
+    trials out over processes).  Returns, per codebook kind::
 
         {"success_rate": float,
          "latency": summary-dict over dwell counts of successful trials,
          "trials": [SearchTrialResult, ...]}
     """
-    if n_trials < 1:
-        raise ValueError(f"need >= 1 trial, got {n_trials!r}")
-    results: Dict[str, dict] = {}
-    for codebook in codebooks:
-        trials: List[SearchTrialResult] = [
-            run_search_trial(
-                codebook,
-                scenario=scenario,
-                seed=base_seed + k,
-                deadline_s=deadline_s,
-            )
-            for k in range(n_trials)
-        ]
-        successes = [t for t in trials if t.success]
-        results[codebook] = {
-            "success_rate": success_rate(len(successes), len(trials)),
-            "latency": summarize([float(t.dwells) for t in successes]),
-            "trials": trials,
-        }
-    return results
+    spec = fig2a_spec(
+        n_trials=n_trials,
+        scenario=scenario,
+        deadline_s=deadline_s,
+        base_seed=base_seed,
+        codebooks=codebooks,
+    )
+    result = run_campaign(spec, workers=workers)
+    return aggregate_search(result.results_in_order())[scenario]

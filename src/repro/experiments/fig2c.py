@@ -13,8 +13,11 @@ tails from beam re-acquisitions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.campaign.aggregate import aggregate_tracking
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, config_to_overrides
 from repro.core.config import SilentTrackerConfig
 from repro.core.silent_tracker import SilentTracker
 from repro.experiments.scenarios import (
@@ -86,37 +89,51 @@ def run_tracking_trial(
     )
 
 
+def fig2c_spec(
+    scenarios: Sequence[str] = SCENARIO_NAMES,
+    n_trials: int = 40,
+    base_seed: int = 200,
+    config: Optional[SilentTrackerConfig] = None,
+    codebook: str = "narrow",
+    name: str = "fig2c",
+) -> CampaignSpec:
+    """The Fig. 2c sweep as a campaign grid (scenario x seed)."""
+    return CampaignSpec(
+        name=name,
+        experiment="tracking",
+        scenarios=tuple(scenarios),
+        protocols=(codebook,),
+        seeds=n_trials,
+        base_seed=base_seed,
+        overrides={"default": config_to_overrides(config)},
+    )
+
+
 def run_fig2c(
     scenarios: Sequence[str] = SCENARIO_NAMES,
     n_trials: int = 40,
     base_seed: int = 200,
     config: Optional[SilentTrackerConfig] = None,
     codebook: str = "narrow",
+    workers: int = 1,
 ) -> Dict[str, dict]:
     """The Fig. 2c data: per scenario, completion-time samples + stats.
 
-    Returns, per scenario::
+    Thin wrapper over :func:`repro.campaign.runner.run_campaign` on the
+    :func:`fig2c_spec` grid.  Returns, per scenario::
 
         {"completion_times_s": [...],   # successful episodes only
          "completion_rate": float,      # episodes completed / trials
          "soft_rate": float,            # soft / completed
          "trials": [TrackingTrialResult, ...]}
     """
-    if n_trials < 1:
-        raise ValueError(f"need >= 1 trial, got {n_trials!r}")
-    results: Dict[str, dict] = {}
-    for scenario in scenarios:
-        trials: List[TrackingTrialResult] = [
-            run_tracking_trial(scenario, seed=base_seed + k, config=config,
-                               codebook=codebook)
-            for k in range(n_trials)
-        ]
-        completed = [t for t in trials if t.completed]
-        soft = [t for t in completed if t.outcome is HandoverOutcome.SOFT]
-        results[scenario] = {
-            "completion_times_s": [t.completion_time_s for t in completed],
-            "completion_rate": len(completed) / len(trials),
-            "soft_rate": (len(soft) / len(completed)) if completed else 0.0,
-            "trials": trials,
-        }
-    return results
+    spec = fig2c_spec(
+        scenarios=scenarios,
+        n_trials=n_trials,
+        base_seed=base_seed,
+        config=config,
+        codebook=codebook,
+    )
+    result = run_campaign(spec, workers=workers)
+    aggregated = aggregate_tracking(result.results_in_order())
+    return {scenario: aggregated[scenario] for scenario in spec.scenarios}

@@ -14,9 +14,12 @@ Two uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments.scenarios import build_cell_edge_deployment
+from repro.campaign.aggregate import aggregate_workload
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.scenarios import SCENARIO_NAMES, build_cell_edge_deployment
 from repro.measure.report import RssMeasurement
 
 
@@ -81,6 +84,66 @@ def generate_rss_trace(
             )
         )
     return trace
+
+
+def workload_spec(
+    scenarios: Sequence[str] = SCENARIO_NAMES,
+    policies: Sequence[str] = ("best", "fixed"),
+    n_traces: int = 1,
+    base_seed: int = 1,
+    cell_id: str = "cellB",
+    duration_s: float = 4.0,
+    period_s: float = 0.020,
+    fixed_rx_beam: int = 0,
+    name: str = "workload",
+) -> CampaignSpec:
+    """An RSS-workload sweep as a campaign grid (scenario x policy x seed)."""
+    return CampaignSpec(
+        name=name,
+        experiment="workload",
+        scenarios=tuple(scenarios),
+        protocols=tuple(policies),
+        seeds=n_traces,
+        base_seed=base_seed,
+        params={
+            "cell": cell_id,
+            "duration_s": duration_s,
+            "period_s": period_s,
+            "fixed_rx_beam": fixed_rx_beam,
+        },
+    )
+
+
+def run_workload_sweep(
+    scenarios: Sequence[str] = SCENARIO_NAMES,
+    policies: Sequence[str] = ("best", "fixed"),
+    n_traces: int = 1,
+    base_seed: int = 1,
+    cell_id: str = "cellB",
+    duration_s: float = 4.0,
+    period_s: float = 0.020,
+    fixed_rx_beam: int = 0,
+    workers: int = 1,
+) -> Dict[str, Dict[str, List[List[RssTracePoint]]]]:
+    """Generate RSS workloads over the full scenario x policy grid.
+
+    Thin wrapper over :func:`repro.campaign.runner.run_campaign` on the
+    :func:`workload_spec` grid; :func:`generate_rss_trace` remains the
+    one-shot single-trace entry point.  Returns
+    ``{scenario: {policy: [trace, ...]}}`` with traces in seed order.
+    """
+    spec = workload_spec(
+        scenarios=scenarios,
+        policies=policies,
+        n_traces=n_traces,
+        base_seed=base_seed,
+        cell_id=cell_id,
+        duration_s=duration_s,
+        period_s=period_s,
+        fixed_rx_beam=fixed_rx_beam,
+    )
+    result = run_campaign(spec, workers=workers)
+    return aggregate_workload(result.results_in_order())
 
 
 def trace_to_measurements(

@@ -33,7 +33,7 @@ class Event:
     and deterministic.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "label", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "label", "_cancelled", "_queue")
 
     def __init__(
         self,
@@ -42,6 +42,7 @@ class Event:
         callback: Callable[..., None],
         args: Tuple[Any, ...],
         label: str,
+        queue: Optional["EventQueue"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -49,6 +50,7 @@ class Event:
         self.args = args
         self.label = label
         self._cancelled = False
+        self._queue = queue
 
     @property
     def cancelled(self) -> bool:
@@ -56,7 +58,11 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -72,11 +78,16 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._live = 0  # non-cancelled events currently in the heap
 
     def __len__(self) -> int:
-        # Cancelled tombstones still in the heap are counted; len() is a
-        # cheap upper bound used only for progress/termination checks.
-        return len(self._heap)
+        # Exact count of pending (non-cancelled) events; cancelled
+        # tombstones still occupying heap slots are not included.
+        return self._live
+
+    def _on_cancel(self, event: Event) -> None:
+        """Bookkeeping hook invoked exactly once per cancelled event."""
+        self._live -= 1
 
     def push(
         self,
@@ -86,8 +97,9 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Add an event; returns its handle."""
-        event = Event(time, next(self._counter), callback, args, label)
+        event = Event(time, next(self._counter), callback, args, label, queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -95,6 +107,10 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                # Detach so a later cancel() of the fired handle is a
+                # no-op for the count (the event has left the heap).
+                event._queue = None
                 return event
         return None
 
@@ -139,7 +155,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Upper bound on the number of events still queued."""
+        """Exact number of non-cancelled events still queued."""
         return len(self._queue)
 
     def schedule(
@@ -178,6 +194,43 @@ class Simulator:
         """Request the run loop to stop after the current event returns."""
         self._stop_requested = True
 
+    def _run_loop(
+        self, end_time: Optional[float], max_events: Optional[int]
+    ) -> None:
+        """Shared event loop behind :meth:`run_until` / :meth:`run_until_idle`.
+
+        Fires events in ``(time, seq)`` order until the queue drains,
+        simulated time would pass ``end_time`` (when given), or
+        :meth:`stop` is called from a callback.  ``max_events`` bounds
+        the number of callbacks fired in this invocation.
+        """
+        if self._running:
+            raise SimulationError("run loop is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        fired_this_run = 0
+        try:
+            while not self._stop_requested:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if end_time is not None and next_time > end_time:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_fired += 1
+                fired_this_run += 1
+                if max_events is not None and fired_this_run >= max_events:
+                    horizon = f" before {end_time}s" if end_time is not None else ""
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}{horizon}"
+                    )
+        finally:
+            self._running = False
+
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
         """Run events in order until simulated time reaches ``end_time``.
 
@@ -190,47 +243,17 @@ class Simulator:
             raise SimulationError(
                 f"end_time {end_time!r} is before current time {self._now!r}"
             )
-        if self._running:
-            raise SimulationError("run_until is not reentrant")
-        self._running = True
-        self._stop_requested = False
-        fired_this_run = 0
-        try:
-            while True:
-                if self._stop_requested:
-                    break
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                event = self._queue.pop()
-                if event is None:
-                    break
-                self._now = event.time
-                event.callback(*event.args)
-                self._events_fired += 1
-                fired_this_run += 1
-                if max_events is not None and fired_this_run >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} before {end_time}s"
-                    )
-        finally:
-            self._running = False
+        self._run_loop(end_time, max_events)
         if not self._stop_requested:
             self._now = max(self._now, end_time)
 
     def run_until_idle(self, max_events: int = 1_000_000) -> None:
-        """Run until the event queue is empty (bounded by ``max_events``)."""
-        fired = 0
-        while True:
-            event = self._queue.pop()
-            if event is None:
-                return
-            self._now = event.time
-            event.callback(*event.args)
-            self._events_fired += 1
-            fired += 1
-            if fired >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
+        """Run until the event queue drains (bounded by ``max_events``).
+
+        Honors :meth:`stop` like :meth:`run_until`: a callback requesting
+        a stop halts the loop with the remaining events still queued.
+        """
+        self._run_loop(None, max_events)
 
 
 class PeriodicTask:

@@ -45,6 +45,44 @@ class TestEventQueue:
         assert EventQueue().pop() is None
         assert EventQueue().peek_time() is None
 
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        events = [queue.push(float(k), lambda: None) for k in range(4)]
+        assert len(queue) == 4
+        events[1].cancel()
+        events[2].cancel()
+        assert len(queue) == 2
+
+    def test_cancel_idempotent_for_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_len_tracks_pops(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        cancelled = queue.push(2.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        cancelled.cancel()
+        queue.pop()
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        remaining = queue.push(2.0, lambda: None)
+        assert queue.pop() is event
+        event.cancel()  # fired handle; must not double-decrement
+        assert len(queue) == 1
+        assert queue.pop() is remaining
+
 
 class TestSimulator:
     def test_clock_advances_to_end(self):
@@ -150,6 +188,38 @@ class TestSimulator:
         sim.run_until_idle()
         assert fired == ["a", "b"]
         assert sim.now == 2.0
+
+    def test_run_until_idle_honors_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until_idle()
+        assert fired == [1]
+        assert sim.pending_events == 1
+        sim.run_until_idle()
+        assert fired == [1, 2]
+
+    def test_run_until_idle_max_events(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=50)
+
+    def test_pending_events_exact_after_cancel(self):
+        sim = Simulator()
+        kept = sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        doomed.cancel()
+        assert sim.pending_events == 1
+        sim.run_until(3.0)
+        assert sim.pending_events == 0
+        assert kept.cancelled is False
 
 
 class TestPeriodicTask:
