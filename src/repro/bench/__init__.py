@@ -1,0 +1,19 @@
+"""Performance-benchmark harness: ``repro bench`` -> ``BENCH_phy.json``.
+
+Records the wall-clock trajectory of the simulator's hot paths —
+micro-benchmarks of the vectorized phy primitives against their scalar
+references, and macro-benchmarks of burst-heavy end-to-end scenarios —
+so every PR can observe whether it moved the needle.  The harness is
+deliberately small: warmup + repeats per case, median/IQR summaries,
+one canonical JSON artifact.
+"""
+
+from repro.bench.harness import TimingResult, time_fn, write_bench_json
+from repro.bench.suites import run_bench
+
+__all__ = [
+    "TimingResult",
+    "run_bench",
+    "time_fn",
+    "write_bench_json",
+]

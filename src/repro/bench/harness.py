@@ -1,0 +1,104 @@
+"""Timing harness: warmup + repeats, median/IQR, canonical JSON output.
+
+Wall-clock timing in CI and on laptops is noisy; the harness therefore
+reports order statistics (median and interquartile range) over a fixed
+number of repeats rather than a single mean, after warmup runs that
+absorb import, allocation and branch-predictor transients.  Raw samples
+are preserved in the artifact so trajectories can be re-analyzed later
+without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.util.numerics import quantile
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Summary of one benchmark case.
+
+    All durations are seconds of wall clock for one execution of the
+    case callable.
+    """
+
+    name: str
+    repeats: int
+    warmup: int
+    median_s: float
+    iqr_s: float
+    p25_s: float
+    p75_s: float
+    min_s: float
+    mean_s: float
+    samples_s: List[float]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def time_fn(
+    name: str,
+    fn: Callable[[], object],
+    repeats: int = 5,
+    warmup: int = 1,
+    meta: Optional[Dict[str, object]] = None,
+) -> TimingResult:
+    """Time ``fn`` with ``warmup`` discarded runs and ``repeats`` samples."""
+    if repeats < 1:
+        raise ValueError(f"need at least one repeat, got {repeats!r}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be non-negative, got {warmup!r}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    ordered = sorted(samples)
+    p25 = quantile(ordered, 0.25)
+    p75 = quantile(ordered, 0.75)
+    return TimingResult(
+        name=name,
+        repeats=repeats,
+        warmup=warmup,
+        median_s=quantile(ordered, 0.50),
+        iqr_s=p75 - p25,
+        p25_s=p25,
+        p75_s=p75,
+        min_s=ordered[0],
+        mean_s=sum(ordered) / len(ordered),
+        samples_s=samples,
+        meta=dict(meta or {}),
+    )
+
+
+def speedup(baseline: TimingResult, candidate: TimingResult) -> float:
+    """Median-over-median speedup of ``candidate`` versus ``baseline``."""
+    if candidate.median_s <= 0.0:
+        raise ValueError("candidate median must be positive")
+    return baseline.median_s / candidate.median_s
+
+
+def write_bench_json(
+    payload: Dict[str, object], path: Union[str, Path]
+) -> Path:
+    """Write a bench payload as canonical JSON (atomic, trailing newline)."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, sort_keys=True, separators=(",", ": "), indent=1)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(text + "\n", encoding="utf-8")
+    os.replace(tmp, target)
+    return target
+
+
+def results_payload(results: List[TimingResult]) -> List[Dict[str, object]]:
+    """Serializable form of a result list (artifact ``results`` section)."""
+    return [asdict(result) for result in results]

@@ -1,0 +1,370 @@
+"""The ``repro bench`` PHY suite: micro + macro burst-evaluation cases.
+
+Every vectorized case is timed against its scalar reference so the
+artifact records both the absolute trajectory and the speedup of the
+batch path.  The macro cases run the fig2a cell-edge testbed end to
+end:
+
+* ``fig2a.search`` — the standard Fig. 2a search trial (bursts stop
+  once the beam is found; engine-bound).
+* ``fig2a.burst_heavy`` — the burst-heavy variant this PR's acceptance
+  targets: the same three-cell geometry with FR2-dense 36-SSB station
+  codebooks and a mobile that measures every burst of every cell, so
+  the wall clock lives in burst evaluation.
+
+The suite also proves the determinism contract on real artifacts: it
+runs a small fig2a campaign once per burst path and byte-compares the
+per-cell JSON files (``artifacts_identical`` in the ``derived``
+section).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import platform
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import (
+    TimingResult,
+    results_payload,
+    speedup,
+    time_fn,
+    write_bench_json,
+)
+
+#: Artifact schema version.
+BENCH_FORMAT = 1
+
+#: Default artifact filename.
+BENCH_FILENAME = "BENCH_phy.json"
+
+
+@contextlib.contextmanager
+def burst_path(mode: str):
+    """Force the LinkEngine burst path for deployments built inside."""
+    if mode not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown burst path {mode!r}")
+    previous = os.environ.get("REPRO_BURST_PATH")
+    os.environ["REPRO_BURST_PATH"] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_BURST_PATH", None)
+        else:
+            os.environ["REPRO_BURST_PATH"] = previous
+
+
+class _SweepListener:
+    """Measures every burst of every cell, walking the rx codebook."""
+
+    def __init__(self, n_beams: int) -> None:
+        self._n = n_beams
+        self._count = 0
+
+    def choose_rx_beam(self, cell_id: str, now_s: float) -> int:
+        self._count += 1
+        return self._count % self._n
+
+    def on_measurement(self, measurement) -> None:
+        pass
+
+
+def _build_burst_heavy_deployment(seed: int, station_beamwidth_deg: float):
+    """The fig2a three-cell testbed with a configurable SSB density."""
+    from repro.experiments.scenarios import (
+        STATION_PHASES_S,
+        STATION_POSITIONS,
+        make_mobile_codebook,
+        make_trajectory,
+    )
+    from repro.geometry.pose import Pose
+    from repro.net.base_station import BaseStation
+    from repro.net.deployment import Deployment, DeploymentConfig
+    from repro.net.mobile import Mobile
+    from repro.phy.codebook import Codebook
+
+    deployment = Deployment(DeploymentConfig(master_seed=seed))
+    for cell_id, position in STATION_POSITIONS.items():
+        deployment.add_station(
+            BaseStation(
+                cell_id,
+                Pose(position, heading=-math.pi / 2.0),
+                Codebook.uniform_azimuth(
+                    station_beamwidth_deg, name=f"bs-{cell_id}"
+                ),
+                tx_power_dbm=0.0,
+                ssb_phase_s=STATION_PHASES_S[cell_id],
+            )
+        )
+    trajectory = make_trajectory("walk", rng=deployment.rng.stream("mobility"))
+    mobile = deployment.add_mobile(
+        Mobile("ue0", trajectory, make_mobile_codebook("narrow"))
+    )
+    return deployment, mobile
+
+
+# ------------------------------------------------------------------- cases
+def _bench_antenna(results: List[TimingResult], repeats: int, warmup: int) -> None:
+    from repro.phy.antenna import GaussianBeamPattern
+
+    pattern = GaussianBeamPattern(math.radians(20.0))
+    offsets = np.linspace(-2.0 * math.pi, 2.0 * math.pi, 4096)
+    offsets_list = [float(o) for o in offsets]
+    meta = {"n_offsets": len(offsets_list), "pattern": "gaussian-20deg"}
+    results.append(
+        time_fn(
+            "antenna.gain.scalar",
+            lambda: [pattern.gain_dbi(o) for o in offsets_list],
+            repeats,
+            warmup,
+            meta,
+        )
+    )
+    results.append(
+        time_fn(
+            "antenna.gain.vectorized",
+            lambda: pattern.gain_dbi_array(offsets),
+            repeats,
+            warmup,
+            meta,
+        )
+    )
+
+
+def _bench_codebook(results: List[TimingResult], repeats: int, warmup: int) -> None:
+    from repro.phy.codebook import Codebook
+
+    # 64 beams: the FR2 max_ssb_per_burst cap, where batching matters most.
+    codebook = Codebook.uniform_azimuth(360.0 / 64.0)
+    azimuths = [0.001 * k for k in range(500)]
+    meta = {"n_beams": len(codebook), "n_azimuths": len(azimuths)}
+    results.append(
+        time_fn(
+            "codebook.gains.scalar",
+            lambda: [
+                [codebook.gain_dbi(i, az) for i in range(len(codebook))]
+                for az in azimuths
+            ],
+            repeats,
+            warmup,
+            meta,
+        )
+    )
+    results.append(
+        time_fn(
+            "codebook.gains.vectorized",
+            lambda: [codebook.gains_dbi(az) for az in azimuths],
+            repeats,
+            warmup,
+            meta,
+        )
+    )
+
+
+def _bench_fading(results: List[TimingResult], repeats: int, warmup: int) -> None:
+    from repro.phy.fading import RicianFading
+
+    n_draws = 10_000
+    meta = {"n_draws": n_draws, "k_factor_db": 10.0}
+
+    def scalar() -> None:
+        fading = RicianFading(10.0, np.random.default_rng(1))
+        for _ in range(n_draws):
+            fading.sample_db()
+
+    def vectorized() -> None:
+        fading = RicianFading(10.0, np.random.default_rng(1))
+        fading.sample_db_array(n_draws)
+
+    results.append(time_fn("fading.rician.scalar", scalar, repeats, warmup, meta))
+    results.append(
+        time_fn("fading.rician.vectorized", vectorized, repeats, warmup, meta)
+    )
+
+
+def _bench_burst_micro(
+    results: List[TimingResult], repeats: int, warmup: int, n_bursts: int
+) -> None:
+    from repro.experiments.scenarios import build_cell_edge_deployment
+
+    def run(mode: str) -> None:
+        with burst_path(mode):
+            deployment, mobile = build_cell_edge_deployment(1, scenario="walk")
+            station = deployment.station("cellB")
+            links = deployment.links
+            for k in range(n_bursts):
+                t = k * 0.02
+                pose = mobile.pose_at(t)
+                links.measure_burst(
+                    station,
+                    mobile.mobile_id,
+                    pose,
+                    mobile.rx_gain_fn(t, pose),
+                    3,
+                    t,
+                )
+
+    meta = {"n_bursts": n_bursts, "ssb_per_burst": 18}
+    results.append(
+        time_fn("burst.measure.scalar", lambda: run("scalar"), repeats, warmup, meta)
+    )
+    results.append(
+        time_fn(
+            "burst.measure.vectorized",
+            lambda: run("vectorized"),
+            repeats,
+            warmup,
+            meta,
+        )
+    )
+
+
+def _bench_fig2a_search(
+    results: List[TimingResult], repeats: int, warmup: int, deadline_s: float
+) -> None:
+    from repro.experiments.fig2a import run_search_trial
+
+    def run(mode: str) -> None:
+        with burst_path(mode):
+            run_search_trial("narrow", scenario="walk", seed=1, deadline_s=deadline_s)
+
+    meta = {"scenario": "walk", "codebook": "narrow", "deadline_s": deadline_s}
+    results.append(
+        time_fn("fig2a.search.scalar", lambda: run("scalar"), repeats, warmup, meta)
+    )
+    results.append(
+        time_fn(
+            "fig2a.search.vectorized",
+            lambda: run("vectorized"),
+            repeats,
+            warmup,
+            meta,
+        )
+    )
+
+
+def _bench_fig2a_burst_heavy(
+    results: List[TimingResult], repeats: int, warmup: int, duration_s: float
+) -> None:
+    beamwidth_deg = 10.0  # 36 SSB per burst: dense FR2-style sweep
+
+    def run(mode: str) -> None:
+        with burst_path(mode):
+            deployment, mobile = _build_burst_heavy_deployment(1, beamwidth_deg)
+            mobile.attach_listener(_SweepListener(len(mobile.codebook)))
+            deployment.run(duration_s)
+
+    meta = {
+        "scenario": "walk",
+        "ssb_per_burst": int(round(360.0 / beamwidth_deg)),
+        "duration_s": duration_s,
+        "cells": 3,
+    }
+    results.append(
+        time_fn(
+            "fig2a.burst_heavy.scalar", lambda: run("scalar"), repeats, warmup, meta
+        )
+    )
+    results.append(
+        time_fn(
+            "fig2a.burst_heavy.vectorized",
+            lambda: run("vectorized"),
+            repeats,
+            warmup,
+            meta,
+        )
+    )
+
+
+def _check_artifact_identity(n_seeds: int) -> bool:
+    """Run a small fig2a campaign per burst path; compare artifact bytes."""
+    from repro.campaign.runner import run_campaign
+    from repro.experiments.fig2a import fig2a_spec
+
+    spec = fig2a_spec(
+        n_trials=n_seeds,
+        scenario="walk",
+        deadline_s=0.5,
+        codebooks=("narrow",),
+        name="bench-identity",
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        roots = {}
+        for mode in ("scalar", "vectorized"):
+            out_dir = Path(tmp) / mode
+            with burst_path(mode):
+                run_campaign(spec, out_dir=out_dir)
+            roots[mode] = out_dir / "cells"
+        scalar_cells = sorted(roots["scalar"].glob("*.json"))
+        vector_cells = sorted(roots["vectorized"].glob("*.json"))
+        if [p.name for p in scalar_cells] != [p.name for p in vector_cells]:
+            return False
+        if not scalar_cells:
+            return False
+        return all(
+            a.read_bytes() == b.read_bytes()
+            for a, b in zip(scalar_cells, vector_cells)
+        )
+
+
+# ------------------------------------------------------------------- suite
+def run_bench(
+    quick: bool = False,
+    out_path: Optional[str] = None,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the PHY suite; write ``BENCH_phy.json`` when ``out_path`` is set.
+
+    ``quick`` trims repeats and workload sizes for CI smoke runs; the
+    artifact schema is identical either way.
+    """
+    n_repeats = repeats if repeats is not None else (2 if quick else 5)
+    n_warmup = warmup if warmup is not None else (1 if quick else 2)
+    results: List[TimingResult] = []
+    _bench_antenna(results, n_repeats, n_warmup)
+    _bench_codebook(results, n_repeats, n_warmup)
+    _bench_fading(results, n_repeats, n_warmup)
+    _bench_burst_micro(results, n_repeats, n_warmup, n_bursts=200 if quick else 500)
+    _bench_fig2a_search(results, n_repeats, n_warmup, deadline_s=1.0)
+    _bench_fig2a_burst_heavy(
+        results, n_repeats, n_warmup, duration_s=2.0 if quick else 6.0
+    )
+    by_name = {result.name: result for result in results}
+    derived = {
+        pair: speedup(by_name[f"{pair}.scalar"], by_name[f"{pair}.vectorized"])
+        for pair in (
+            "antenna.gain",
+            "codebook.gains",
+            "fading.rician",
+            "burst.measure",
+            "fig2a.search",
+            "fig2a.burst_heavy",
+        )
+    }
+    payload: Dict[str, object] = {
+        "format": BENCH_FORMAT,
+        "suite": "phy",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "results": results_payload(results),
+        "derived": {
+            "speedups": derived,
+            "artifacts_identical": _check_artifact_identity(
+                n_seeds=2 if quick else 4
+            ),
+        },
+    }
+    if out_path is not None:
+        write_bench_json(payload, out_path)
+    return payload

@@ -10,6 +10,8 @@ Commands
 ``report``      full markdown reproduction report.
 ``campaign``    parallel experiment campaigns with persistent
                 artifacts: ``run`` / ``resume`` / ``summarize``.
+``bench``       PHY performance benchmarks (scalar vs vectorized burst
+                path), written to ``BENCH_phy.json``.
 """
 
 from __future__ import annotations
@@ -260,6 +262,40 @@ def _cmd_campaign_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench
+
+    payload = run_bench(
+        quick=args.quick, out_path=args.out or None, repeats=args.repeats
+    )
+    rows = []
+    for result in payload["results"]:
+        rows.append(
+            [
+                result["name"],
+                1000.0 * result["median_s"],
+                1000.0 * result["iqr_s"],
+                result["repeats"],
+            ]
+        )
+    print(
+        format_table(
+            ["case", "median (ms)", "IQR (ms)", "repeats"],
+            rows,
+            title=f"PHY bench ({'quick' if args.quick else 'full'})",
+        )
+    )
+    derived = payload["derived"]
+    for pair, factor in derived["speedups"].items():
+        print(f"speedup {pair}: {factor:.2f}x")
+    print(f"artifacts identical across paths: {derived['artifacts_identical']}")
+    if args.out:
+        print(f"wrote {args.out}")
+    # Timings are informational; the command only fails on harness
+    # errors or a broken determinism contract.
+    return 0 if derived["artifacts_identical"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -359,6 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
                                help="artifact directory with a campaign "
                                     "manifest")
     summarize_cmd.set_defaults(func=_cmd_campaign_summarize)
+
+    bench = sub.add_parser(
+        "bench", help="PHY performance benchmarks -> BENCH_phy.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="trimmed repeats/workloads for CI smoke runs")
+    bench.add_argument("--out", default="BENCH_phy.json",
+                       help="artifact path (use '' to skip writing)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="override samples per case")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

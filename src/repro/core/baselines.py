@@ -347,14 +347,15 @@ class OracleTracker:
     def _evaluate_trigger(self, now_s: float) -> None:
         serving_cell = self.mobile.connection.serving_cell
         serving_rss = self._mean_rss(self._stations[serving_cell], now_s)
-        best_cell, best_rss = None, -1e9
-        for cell_id, station in self._stations.items():
-            if cell_id == serving_cell:
-                continue
-            rss = self._mean_rss(station, now_s)
-            if rss > best_rss:
-                best_cell, best_rss = cell_id, rss
-        if best_cell is None or best_rss <= serving_rss + self.handover_margin_db:
+        neighbors = [c for c in self._stations if c != serving_cell]
+        if not neighbors:
+            return
+        # Sweep every neighbor once, then pick the max; ties resolve to
+        # the first neighbor, as the former strict-improvement scan did.
+        neighbor_rss = [self._mean_rss(self._stations[c], now_s) for c in neighbors]
+        best = max(range(len(neighbors)), key=neighbor_rss.__getitem__)
+        best_cell, best_rss = neighbors[best], neighbor_rss[best]
+        if best_rss <= serving_rss + self.handover_margin_db:
             return
         self._rach_target = best_cell
         self._pending_record = self.handover_log.open_record(

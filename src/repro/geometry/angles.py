@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+import numpy as np
+
 TWO_PI = 2.0 * math.pi
 
 
@@ -22,6 +24,20 @@ def wrap_to_pi(angle: float) -> float:
     wrapped = math.fmod(angle + math.pi, TWO_PI)
     if wrapped <= 0.0:
         wrapped += TWO_PI
+    return wrapped - math.pi
+
+
+def wrap_to_pi_array(angles) -> np.ndarray:
+    """Vectorized :func:`wrap_to_pi`, bit-identical to the scalar per element.
+
+    The batch evaluation path promises byte-identical RSS traces versus
+    the scalar path, so this mirrors the scalar's exact operation
+    sequence (``fmod``, conditional period add, subtract) rather than
+    using ``np.mod``, whose result differs at the ``±pi`` seam.
+    Preserves the input shape.
+    """
+    wrapped = np.fmod(np.asarray(angles, dtype=float) + math.pi, TWO_PI)
+    wrapped = np.where(wrapped <= 0.0, wrapped + TWO_PI, wrapped)
     return wrapped - math.pi
 
 

@@ -73,6 +73,21 @@ class BaseStation:
         body_azimuth = self.pose.world_to_body(target_world_azimuth)
         return self.codebook.gain_dbi(beam_index, body_azimuth)
 
+    def tx_gains_dbi(
+        self, target_world_azimuth: float, beam_indices=None
+    ):
+        """Gains of every codebook beam (or of ``beam_indices``) toward
+        one world-frame azimuth, as a float64 array.
+
+        The batch counterpart of :meth:`tx_gain_dbi`: the frame
+        conversion happens once and the codebook evaluates all beams in
+        one array op.  Element ``k`` is bit-identical to
+        ``tx_gain_dbi(k, ...)`` — the vectorized burst path relies on
+        this.
+        """
+        body_azimuth = self.pose.world_to_body(target_world_azimuth)
+        return self.codebook.gains_dbi(body_azimuth, beam_indices)
+
     def best_tx_beam_towards(self, target_world_azimuth: float) -> int:
         """Codebook beam whose boresight is closest to the target azimuth."""
         body_azimuth = self.pose.world_to_body(target_world_azimuth)

@@ -13,10 +13,20 @@ meet.  Three operations cover everything the protocols need:
   reciprocity: the mobile transmits on the antenna weights of its
   current receive beam, the base station listens on its serving/detected
   beam.
+
+Bursts are evaluated on the vectorized batch path by default
+(:meth:`~repro.phy.channel.Channel.burst_rss_dbm` + batched codebook
+gains + argmax-over-threshold selection); the scalar per-dwell loop is
+kept as the reference implementation, selectable via the ``vectorized``
+attribute or the ``REPRO_BURST_PATH=scalar`` environment variable.
+Both paths consume identical RNG draws and produce bit-identical
+measurements, so switching paths never changes an artifact — only the
+wall clock.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -29,14 +39,35 @@ from repro.sim.rng import RngRegistry
 
 
 class LinkEngine:
-    """Evaluates dwell/message outcomes over the shared channel."""
+    """Evaluates dwell/message outcomes over the shared channel.
+
+    Draw-order contract
+    -------------------
+    Reproducibility across refactors rests on every path consuming RNG
+    draws in a fixed, documented order:
+
+    * The decode stream (registry key ``"uplink"``, kept for seed
+      compatibility with existing traces) backs *both*
+      :meth:`uplink_success` and :meth:`downlink_success` — exactly one
+      uniform draw per decode attempt, in call order.
+    * A measured burst of ``n`` dwells consumes, from the link's own
+      streams and in this order: ``n`` shadowing normals (one real
+      innovation, ``n - 1`` zero-innovation draws at the shared burst
+      pose), the blockage renewal draws needed to extend the timeline
+      past the burst timestamp, then ``2n`` interleaved I/Q fading
+      normals.  The scalar and vectorized burst paths consume
+      identically.
+    """
 
     def __init__(self, channel: Channel, rng_registry: RngRegistry) -> None:
         self.channel = channel
-        self._uplink_rng: np.random.Generator = rng_registry.stream("uplink")
+        self._decode_rng: np.random.Generator = rng_registry.stream("uplink")
         #: Uplink transmit power of the mobile, dBm.  Handsets run well
         #: below the base station's EIRP.
         self.mobile_tx_power_dbm = 5.0
+        #: Burst-evaluation path; the scalar reference loop exists for
+        #: perf comparison and equivalence tests.
+        self.vectorized = os.environ.get("REPRO_BURST_PATH", "vectorized") != "scalar"
 
     @staticmethod
     def link_id(cell_id: str, mobile_id: str) -> str:
@@ -79,9 +110,58 @@ class LinkEngine:
         bearing_to_station = mobile_pose.bearing_to(station.pose.position)
         rx_gain = rx_gain_fn(rx_beam, bearing_to_station)
         link = self.link_id(station.cell_id, mobile_id)
+        beams = station.schedule.beams_in_burst()
+        if not self.vectorized:
+            return self._measure_burst_scalar(
+                station, mobile_pose, link, beams, bearing_to_mobile,
+                rx_gain, rx_beam, time_s, budget, threshold,
+            )
+        # One batch gain evaluation for the burst's sweep order; passing
+        # the beam list keeps the mapping correct even for a schedule
+        # that sweeps a subset or reorders the codebook.
+        tx_gains = station.tx_gains_dbi(bearing_to_mobile, beams)
+        rss = self.channel.burst_rss_dbm(
+            link,
+            time_s,
+            station.pose,
+            mobile_pose,
+            tx_gains,
+            rx_gain,
+            station.tx_power_dbm,
+        )
+        detected = np.flatnonzero(rss - budget.noise_floor_dbm >= threshold)
+        if detected.size == 0:
+            return RssMeasurement(time_s, station.cell_id, rx_beam)
+        # Argmax over the detected dwells; ties resolve to the earliest
+        # dwell, matching the scalar loop's strict-improvement scan.
+        best = int(detected[np.argmax(rss[detected])])
+        best_rss = float(rss[best])
+        return RssMeasurement(
+            time_s,
+            station.cell_id,
+            rx_beam,
+            tx_beam=beams[best],
+            rss_dbm=best_rss,
+            snr_db=budget.snr_db(best_rss),
+        )
+
+    def _measure_burst_scalar(
+        self,
+        station: BaseStation,
+        mobile_pose: Pose,
+        link: str,
+        beams,
+        bearing_to_mobile: float,
+        rx_gain: float,
+        rx_beam: int,
+        time_s: float,
+        budget,
+        threshold: float,
+    ) -> RssMeasurement:
+        """Reference per-dwell loop (the pre-vectorization hot path)."""
         best_rss: Optional[float] = None
         best_tx: Optional[int] = None
-        for tx_beam in station.schedule.beams_in_burst():
+        for tx_beam in beams:
             tx_gain = station.tx_gain_dbi(tx_beam, bearing_to_mobile)
             # Dwells within a burst are microseconds apart; geometry and
             # large-scale state are evaluated at the burst timestamp, but
@@ -151,7 +231,7 @@ class LinkEngine:
             station, mobile_id, mobile_pose, rx_gain_fn, rx_beam, tx_beam, time_s
         )
         probability = station.link_budget.packet_success_probability(rss)
-        return bool(self._uplink_rng.random() < probability)
+        return bool(self._decode_rng.random() < probability)
 
     # ---------------------------------------------------------------- uplink
     def uplink_rss(
@@ -206,4 +286,4 @@ class LinkEngine:
         probability = station.link_budget.packet_success_probability(
             rss + extra_margin_db
         )
-        return bool(self._uplink_rng.random() < probability)
+        return bool(self._decode_rng.random() < probability)

@@ -76,14 +76,19 @@ class Mobile:
         """Current pose from the mobility model."""
         return self.trajectory.pose_at(time_s)
 
-    def rx_gain_fn(self, time_s: float) -> Callable[[int, float], float]:
+    def rx_gain_fn(
+        self, time_s: float, pose: Optional[Pose] = None
+    ) -> Callable[[int, float], float]:
         """Receive-gain function bound to the pose at ``time_s``.
 
         Returns ``f(rx_beam, world_azimuth) -> dBi``; the device heading
         at ``time_s`` is baked in so the link engine needs no knowledge
-        of body frames.
+        of body frames.  Callers that already computed the pose for
+        ``time_s`` can pass it to skip the trajectory lookup (the burst
+        delivery hot path does).
         """
-        pose = self.pose_at(time_s)
+        if pose is None:
+            pose = self.pose_at(time_s)
 
         def gain(rx_beam: int, world_azimuth: float) -> float:
             return self.codebook.gain_dbi(rx_beam, pose.world_to_body(world_azimuth))
@@ -133,11 +138,12 @@ class Mobile:
             self.bursts_declined += 1
             return None
         self.occupy_radio(now_s, station.schedule.burst_duration_s())
+        pose = self.pose_at(now_s)
         measurement = link_engine.measure_burst(
             station,
             self.mobile_id,
-            self.pose_at(now_s),
-            self.rx_gain_fn(now_s),
+            pose,
+            self.rx_gain_fn(now_s, pose),
             rx_beam,
             now_s,
         )

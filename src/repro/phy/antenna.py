@@ -26,7 +26,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.geometry.angles import wrap_to_pi
+from repro.geometry.angles import wrap_to_pi, wrap_to_pi_array
 
 #: ln(2), used by the Gaussian mainlobe shape constant.
 _LN2 = math.log(2.0)
@@ -81,8 +81,21 @@ class AntennaPattern(ABC):
         """Half-power (3 dB) beamwidth in radians; ``2*pi`` for omni."""
 
     def gain_dbi_array(self, offsets_rad: np.ndarray) -> np.ndarray:
-        """Vectorized gain; default implementation loops (override for speed)."""
-        return np.array([self.gain_dbi(float(o)) for o in np.ravel(offsets_rad)])
+        """Vectorized gain over an array of offsets.
+
+        The default evaluates :meth:`gain_dbi` per element (override for
+        speed).  Contract for all implementations: the result has the
+        input's shape, is float64 even for empty input, and each element
+        is bit-identical to the scalar :meth:`gain_dbi` of the same
+        offset — the batch burst-evaluation path relies on this to keep
+        RSS traces byte-identical to the scalar path.
+        """
+        offsets = np.asarray(offsets_rad, dtype=float)
+        gains = np.empty(offsets.shape, dtype=float)
+        flat = gains.ravel()
+        for i, offset in enumerate(offsets.ravel()):
+            flat[i] = self.gain_dbi(float(offset))
+        return gains
 
 
 class GaussianBeamPattern(AntennaPattern):
@@ -138,9 +151,7 @@ class GaussianBeamPattern(AntennaPattern):
         return max(mainlobe, self._sidelobe_floor)
 
     def gain_dbi_array(self, offsets_rad: np.ndarray) -> np.ndarray:
-        offsets = np.abs(
-            np.mod(np.asarray(offsets_rad, dtype=float) + np.pi, 2.0 * np.pi) - np.pi
-        )
+        offsets = np.abs(wrap_to_pi_array(offsets_rad))
         mainlobe = self._peak - self._shape * offsets * offsets
         return np.maximum(mainlobe, self._sidelobe_floor)
 
@@ -231,6 +242,37 @@ class UlaPattern(AntennaPattern):
         if power <= 1e-12:
             return -10.0
         return max(-10.0, self._element_gain + 10.0 * math.log10(power))
+
+    def gain_dbi_array(self, offsets_rad: np.ndarray) -> np.ndarray:
+        offsets = wrap_to_pi_array(offsets_rad)
+        gains = np.full(offsets.shape, -10.0)
+        front = np.abs(offsets) <= 0.5 * math.pi
+        # math.sin per element (like the log10 below): numpy can route
+        # float64 sin through SIMD implementations that differ from the
+        # scalar path's libm by a ULP on some hosts, which would break
+        # the bit-identity contract of gain_dbi_array.
+        sin = math.sin
+        u = 0.5 * math.pi * np.array(
+            [sin(o) for o in offsets[front].tolist()]
+        )
+        numerator = np.array([sin(x) for x in (self._n * u).tolist()])
+        denominator = self._n * np.array([sin(x) for x in u.tolist()])
+        af_power = np.ones_like(u)
+        steerable = np.abs(denominator) >= 1e-12
+        af = numerator[steerable] / denominator[steerable]
+        af_power[steerable] = af * af
+        power = self._n * af_power
+        front_gains = np.full(power.shape, -10.0)
+        detectable = power > 1e-12
+        # math.log10 per element: np.log10 differs from the scalar path
+        # by 1 ULP on some inputs, which would break the bit-identity
+        # contract of gain_dbi_array.
+        front_gains[detectable] = [
+            max(-10.0, self._element_gain + 10.0 * math.log10(p))
+            for p in power[detectable]
+        ]
+        gains[front] = front_gains
+        return gains
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"UlaPattern(n={self._n})"

@@ -5,6 +5,20 @@ power and the two beam gains at time t, what RSS does a dwell observe?*
 All statistical state (shadowing trajectory, blockage timeline, fading
 stream) is kept per link and derived from named RNG streams, so any two
 runs with the same master seed produce identical RSS traces.
+
+Two evaluation paths are offered with one determinism contract:
+
+* :meth:`Channel.rss_dbm` — one dwell at a time (the scalar reference).
+* :meth:`Channel.burst_rss_dbm` — every dwell of one SSB burst in a
+  single vectorized pass.  Geometry, path loss, shadowing and blockage
+  are evaluated once per burst (all dwells share one timestamp and
+  pose); each dwell still draws its own small-scale fade.
+
+The batch path consumes exactly the RNG draws the equivalent scalar
+loop would (n shadowing normals, the blockage renewal draws needed to
+pass the burst timestamp, 2n interleaved fading normals) and produces
+bit-identical RSS values, so scalar- and batch-evaluated runs yield
+byte-identical artifacts.
 """
 
 from __future__ import annotations
@@ -12,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+import numpy as np
 
 from repro.geometry.pose import Pose
 from repro.phy.blockage import BlockageConfig, BlockageProcess
@@ -158,6 +174,60 @@ class Channel:
         return (
             tx_power_dbm
             + tx_gain_dbi
+            + rx_gain_dbi
+            - loss_db
+            - shadowing_db
+            - blockage_db
+            + fading_db
+        )
+
+    def burst_rss_dbm(
+        self,
+        link_id: str,
+        time_s: float,
+        tx_pose: Pose,
+        rx_pose: Pose,
+        tx_gains_dbi: np.ndarray,
+        rx_gain_dbi: float,
+        tx_power_dbm: float,
+        include_fading: bool = True,
+    ) -> np.ndarray:
+        """Vectorized RSS of every dwell in one SSB burst.
+
+        ``tx_gains_dbi`` holds the transmit gain of each dwell's beam
+        toward the mobile (one entry per dwell, in sweep order).  The
+        large-scale terms — geometry, path loss, shadowing, blockage —
+        are computed once for the burst; fading is drawn per dwell in a
+        single batched, stream-order-preserving draw.  Returns the
+        per-dwell RSS array, bit-identical to a loop of :meth:`rss_dbm`
+        over the same gains, and leaves every RNG stream in the exact
+        state that loop would.
+        """
+        tx_gains = np.asarray(tx_gains_dbi, dtype=float)
+        if tx_gains.ndim != 1:
+            raise ValueError(
+                f"tx gains must be one value per dwell, got shape {tx_gains.shape}"
+            )
+        n_dwells = tx_gains.shape[0]
+        if n_dwells == 0:
+            # A zero-dwell burst touches no per-link state in the scalar
+            # loop either.
+            return np.empty(0, dtype=float)
+        state = self.link_state(link_id)
+        distance = tx_pose.position.distance_to(rx_pose.position)
+        loss_db = self.pathloss.path_loss_db(distance)
+        shadowing_db = state.shadowing.sample_repeat_db(
+            state.traveled_m(rx_pose), n_dwells
+        )
+        blockage_db = state.blockage.attenuation_db(time_s)
+        fading_db = (
+            state.fading.sample_db_array(n_dwells) if include_fading else 0.0
+        )
+        # Same left-to-right operation order as the scalar rss_dbm sum,
+        # so each element is bit-identical to its scalar counterpart.
+        return (
+            tx_power_dbm
+            + tx_gains
             + rx_gain_dbi
             - loss_db
             - shadowing_db

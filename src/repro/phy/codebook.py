@@ -16,7 +16,9 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.geometry.angles import angular_distance, wrap_to_pi
+import numpy as np
+
+from repro.geometry.angles import wrap_to_pi, wrap_to_pi_array
 from repro.phy.antenna import (
     AntennaPattern,
     GaussianBeamPattern,
@@ -73,10 +75,33 @@ class Codebook:
         boresights = [b.boresight_rad for b in beams]
         if len(beams) > 1:
             wrapped = [wrap_to_pi(a) for a in boresights]
-            if sorted(wrapped) != wrapped:
-                raise ValueError("beams must be sorted by wrapped boresight")
+            # A ring is legal when it ascends with at most one wrap
+            # point across the ±π seam (e.g. ..., 170°, -170°, ...):
+            # rotate so the smallest wrapped boresight comes first, then
+            # require ascending order.
+            pivot = wrapped.index(min(wrapped))
+            rotated = wrapped[pivot:] + wrapped[:pivot]
+            if sorted(rotated) != rotated:
+                raise ValueError(
+                    "beams must be sorted by wrapped boresight "
+                    "(a single ±pi wrap point is allowed)"
+                )
         self._beams: Tuple[Beam, ...] = tuple(beams)
         self.name = name
+        # Batch-path caches.  Beams are immutable, so these stay valid
+        # for the codebook's lifetime; the boresight array is marked
+        # read-only because it is handed out via :attr:`boresights_rad`.
+        self._boresights = np.array(boresights, dtype=float)
+        self._boresights.flags.writeable = False
+        groups: dict = {}
+        for position, beam in enumerate(self._beams):
+            groups.setdefault(id(beam.pattern), (beam.pattern, []))[1].append(
+                position
+            )
+        self._pattern_groups: List[Tuple[AntennaPattern, np.ndarray]] = [
+            (pattern, np.array(positions, dtype=np.intp))
+            for pattern, positions in groups.values()
+        ]
 
     # ------------------------------------------------------------- container
     def __len__(self) -> int:
@@ -91,6 +116,11 @@ class Codebook:
     @property
     def beams(self) -> Tuple[Beam, ...]:
         return self._beams
+
+    @property
+    def boresights_rad(self) -> np.ndarray:
+        """Beam boresights as a read-only float64 array (index order)."""
+        return self._boresights
 
     @property
     def is_omni(self) -> bool:
@@ -126,16 +156,55 @@ class Codebook:
 
     # ------------------------------------------------------------- selection
     def best_beam_towards(self, body_azimuth_rad: float) -> Beam:
-        """Beam whose boresight is closest to the given body-frame azimuth."""
-        return min(
-            self._beams,
-            key=lambda beam: angular_distance(beam.boresight_rad, body_azimuth_rad),
-        )
+        """Beam whose boresight is closest to the given body-frame azimuth.
+
+        Vectorized over the ring; ties resolve to the lowest beam index
+        (the same beam the former scalar ``min`` scan selected).
+        """
+        distances = np.abs(wrap_to_pi_array(self._boresights - body_azimuth_rad))
+        return self._beams[int(np.argmin(distances))]
 
     def gain_dbi(self, index: int, body_azimuth_rad: float) -> float:
         """Gain of beam ``index`` toward a body-frame azimuth."""
         self._check_index(index)
         return self._beams[index].gain_dbi(body_azimuth_rad)
+
+    def gains_dbi(
+        self, body_azimuth_rad: float, indices: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Gains of every beam (or of ``indices``) toward one azimuth.
+
+        The batch counterpart of :meth:`gain_dbi`: one array op per
+        distinct pattern object instead of one Python call per beam.
+        Each element is bit-identical to the scalar ``gain_dbi`` of the
+        same beam — the burst evaluation path depends on this.
+        """
+        if indices is None:
+            offsets = body_azimuth_rad - self._boresights
+            if len(self._pattern_groups) == 1:
+                return self._pattern_groups[0][0].gain_dbi_array(offsets)
+            gains = np.empty(len(self._beams), dtype=float)
+            for pattern, positions in self._pattern_groups:
+                gains[positions] = pattern.gain_dbi_array(offsets[positions])
+            return gains
+        selected = np.asarray(indices, dtype=np.intp)
+        if selected.size and (
+            selected.min() < 0 or selected.max() >= len(self._beams)
+        ):
+            raise IndexError(
+                f"beam indices out of range for {len(self._beams)}-beam codebook"
+            )
+        # Evaluate only the selected beams (a schedule may sweep a
+        # subset of the codebook).
+        offsets = body_azimuth_rad - self._boresights[selected]
+        if len(self._pattern_groups) == 1:
+            return self._pattern_groups[0][0].gain_dbi_array(offsets)
+        gains = np.empty(selected.shape, dtype=float)
+        for pattern, positions in self._pattern_groups:
+            mask = np.isin(selected, positions)
+            if mask.any():
+                gains[mask] = pattern.gain_dbi_array(offsets[mask])
+        return gains
 
     def sweep_order(self, start: int = 0) -> List[int]:
         """Exhaustive-search visiting order starting from ``start``.
@@ -223,8 +292,23 @@ class HierarchicalCodebook:
     def __init__(self, coarse: Codebook, fine: Codebook) -> None:
         if len(fine) < len(coarse):
             raise ValueError("fine tier must have at least as many beams as coarse")
-        self.coarse = coarse
-        self.fine = fine
+        self._coarse = coarse
+        self._fine = fine
+        # Coarse parent index of every fine beam: one array op over the
+        # full fine x coarse distance matrix instead of a nested Python
+        # scan; ties resolve to the lowest coarse index exactly as
+        # :meth:`Codebook.best_beam_towards` does.  Computed eagerly —
+        # the tiers are read-only, so it can never go stale.
+        offsets = coarse.boresights_rad[None, :] - fine.boresights_rad[:, None]
+        self._parents = np.argmin(np.abs(wrap_to_pi_array(offsets)), axis=1)
+
+    @property
+    def coarse(self) -> Codebook:
+        return self._coarse
+
+    @property
+    def fine(self) -> Codebook:
+        return self._fine
 
     def children(self, coarse_index: int) -> List[int]:
         """Fine-tier beams whose boresights fall inside a coarse beam.
@@ -233,13 +317,8 @@ class HierarchicalCodebook:
         closest to, so every fine beam has exactly one parent and the
         children sets partition the fine tier.
         """
-        self.coarse._check_index(coarse_index)
-        result = []
-        for beam in self.fine:
-            parent = self.coarse.best_beam_towards(beam.boresight_rad)
-            if parent.index == coarse_index:
-                result.append(beam.index)
-        return result
+        self._coarse._check_index(coarse_index)
+        return [int(i) for i in np.flatnonzero(self._parents == coarse_index)]
 
     def search_cost(self, coarse_index: int) -> int:
         """Number of dwells for a two-stage search landing in this sector."""

@@ -41,11 +41,19 @@ class LinkBudget:
             raise ValueError(f"bandwidth must be positive, got {self.bandwidth_hz!r}")
         if self.decode_slope_db <= 0.0:
             raise ValueError(f"slope must be positive, got {self.decode_slope_db!r}")
+        # Cached non-field attribute (the dataclass is frozen): the
+        # noise floor is consulted per dwell on the measurement hot
+        # path, and the log10 behind it never changes.
+        object.__setattr__(
+            self,
+            "_noise_floor_dbm",
+            thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db),
+        )
 
     @property
     def noise_floor_dbm(self) -> float:
         """Total integrated noise power at the detector input."""
-        return thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db)
+        return self._noise_floor_dbm
 
     def snr_db(self, rss_dbm: float) -> float:
         """SNR of a received signal at ``rss_dbm``."""

@@ -80,6 +80,25 @@ class ShadowingProcess:
         self._last_distance = traveled_m
         return self._last_value_db
 
+    def sample_repeat_db(self, traveled_m: float, n: int) -> float:
+        """The shadowing value at ``traveled_m``, consuming ``n`` calls' draws.
+
+        Within an SSB burst every dwell shares one rx pose, so ``n``
+        scalar :meth:`sample_db` calls at the same ``traveled_m`` all
+        return the same value — but calls 2..n each still consume one
+        zero-innovation normal (``rho`` is exactly 1, the innovation
+        sigma exactly 0).  This batch equivalent returns the shared
+        value while consuming the identical number of draws, keeping the
+        generator state bit-compatible with the scalar path.
+        """
+        if n < 1:
+            raise ValueError(f"need at least one sample, got {n!r}")
+        value = self.sample_db(traveled_m)
+        if self.sigma_db != 0.0 and n > 1:
+            # Burn the zero-innovation draws the scalar loop would make.
+            self._rng.standard_normal(n - 1)
+        return value
+
     def reset(self) -> None:
         """Forget the process state (a fresh draw seeds the next sample)."""
         self._last_value_db = None

@@ -1,0 +1,87 @@
+"""The perf-benchmark harness: timing mechanics and artifact schema."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    TimingResult,
+    results_payload,
+    speedup,
+    time_fn,
+    write_bench_json,
+)
+
+
+class TestTimeFn:
+    def test_basic_statistics(self):
+        calls = []
+        result = time_fn("case", lambda: calls.append(1), repeats=5, warmup=2)
+        assert len(calls) == 7  # warmup runs execute but are not sampled
+        assert result.name == "case"
+        assert result.repeats == 5 and result.warmup == 2
+        assert len(result.samples_s) == 5
+        assert result.min_s <= result.median_s <= max(result.samples_s)
+        assert result.p25_s <= result.median_s <= result.p75_s
+        assert result.iqr_s == pytest.approx(result.p75_s - result.p25_s)
+
+    def test_meta_recorded(self):
+        result = time_fn("case", lambda: None, repeats=1, warmup=0,
+                         meta={"n": 3})
+        assert result.meta == {"n": 3}
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            time_fn("case", lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_fn("case", lambda: None, repeats=1, warmup=-1)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        slow = TimingResult("a", 1, 0, 2.0, 0.0, 2.0, 2.0, 2.0, 2.0, [2.0])
+        fast = TimingResult("b", 1, 0, 0.5, 0.0, 0.5, 0.5, 0.5, 0.5, [0.5])
+        assert speedup(slow, fast) == pytest.approx(4.0)
+
+    def test_rejects_zero_candidate(self):
+        zero = TimingResult("z", 1, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, [0.0])
+        with pytest.raises(ValueError):
+            speedup(zero, zero)
+
+
+class TestArtifact:
+    def test_write_bench_json_canonical(self, tmp_path):
+        target = tmp_path / "nested" / "BENCH_phy.json"
+        write_bench_json({"b": 2, "a": 1}, target)
+        text = target.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 1, "b": 2}
+        # Canonical: keys sorted on disk.
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_results_payload_roundtrip(self):
+        result = time_fn("case", lambda: None, repeats=2, warmup=0)
+        payload = results_payload([result])
+        assert payload[0]["name"] == "case"
+        json.dumps(payload)  # must be JSON-serializable
+
+
+class TestSuite:
+    def test_quick_suite_schema_and_determinism_check(self, tmp_path):
+        from repro.bench.suites import run_bench
+
+        out = tmp_path / "BENCH_phy.json"
+        payload = run_bench(quick=True, out_path=str(out), repeats=1, warmup=0)
+        assert out.exists()
+        assert payload["format"] == 1
+        names = {r["name"] for r in payload["results"]}
+        assert {"burst.measure.scalar", "burst.measure.vectorized",
+                "fig2a.burst_heavy.scalar",
+                "fig2a.burst_heavy.vectorized"} <= names
+        derived = payload["derived"]
+        assert set(derived["speedups"]) == {
+            "antenna.gain", "codebook.gains", "fading.rician",
+            "burst.measure", "fig2a.search", "fig2a.burst_heavy",
+        }
+        assert derived["artifacts_identical"] is True
+        assert json.loads(out.read_text(encoding="utf-8")) == payload
