@@ -14,20 +14,57 @@ Quickstart::
     result = run_tracking_trial("walk", seed=7)
     print(result.outcome, result.completion_time_s)
 
+Or through the typed session API (any registered protocol/scenario)::
+
+    from repro import Session, TrialSpec
+
+    with Session(TrialSpec(scenario="vehicular",
+                           protocol="silent-tracker", seed=7)) as session:
+        protocol = session.attach_protocol()
+        session.run()
+
+Protocols, scenarios, codebooks and experiment kinds are plugin
+registries (:mod:`repro.registry`): register a custom arm with the
+``register_*`` decorators and it runs through every experiment,
+campaign grid and CLI command like the built-ins (``repro list`` shows
+the live sets).
+
 See :mod:`repro.core` for the protocol, :mod:`repro.experiments` for
 the figure reproductions, and DESIGN.md for the system inventory.
 """
 
+from repro.api import Session, TrialResult, TrialSpec
 from repro.core import SilentTracker, SilentTrackerConfig
 from repro.net import Deployment, DeploymentConfig, Mobile
+from repro.registry import (
+    CODEBOOKS,
+    EXPERIMENTS,
+    PROTOCOLS,
+    SCENARIOS,
+    register_codebook,
+    register_experiment,
+    register_protocol,
+    register_scenario,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CODEBOOKS",
     "Deployment",
     "DeploymentConfig",
+    "EXPERIMENTS",
     "Mobile",
+    "PROTOCOLS",
+    "SCENARIOS",
+    "Session",
     "SilentTracker",
     "SilentTrackerConfig",
+    "TrialResult",
+    "TrialSpec",
+    "register_codebook",
+    "register_experiment",
+    "register_protocol",
+    "register_scenario",
     "__version__",
 ]

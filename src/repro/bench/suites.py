@@ -77,38 +77,23 @@ class _SweepListener:
         pass
 
 
-def _build_burst_heavy_deployment(seed: int, station_beamwidth_deg: float):
-    """The fig2a three-cell testbed with a configurable SSB density."""
-    from repro.experiments.scenarios import (
-        STATION_PHASES_S,
-        STATION_POSITIONS,
-        make_mobile_codebook,
-        make_trajectory,
-    )
-    from repro.geometry.pose import Pose
-    from repro.net.base_station import BaseStation
-    from repro.net.deployment import Deployment, DeploymentConfig
-    from repro.net.mobile import Mobile
-    from repro.phy.codebook import Codebook
+def _burst_heavy_session(seed: int, station_beamwidth_deg: float):
+    """The fig2a three-cell testbed with a configurable SSB density.
 
-    deployment = Deployment(DeploymentConfig(master_seed=seed))
-    for cell_id, position in STATION_POSITIONS.items():
-        deployment.add_station(
-            BaseStation(
-                cell_id,
-                Pose(position, heading=-math.pi / 2.0),
-                Codebook.uniform_azimuth(
-                    station_beamwidth_deg, name=f"bs-{cell_id}"
-                ),
-                tx_power_dbm=0.0,
-                ssb_phase_s=STATION_PHASES_S[cell_id],
-            )
+    Built through the public :class:`repro.api.Session` facade — the
+    same path every experiment uses — with the station codebook density
+    raised via ``TrialSpec.bs_beamwidth_deg``.
+    """
+    from repro.api import Session, TrialSpec
+
+    return Session(
+        TrialSpec(
+            scenario="walk",
+            codebook="narrow",
+            seed=seed,
+            bs_beamwidth_deg=station_beamwidth_deg,
         )
-    trajectory = make_trajectory("walk", rng=deployment.rng.stream("mobility"))
-    mobile = deployment.add_mobile(
-        Mobile("ue0", trajectory, make_mobile_codebook("narrow"))
     )
-    return deployment, mobile
 
 
 # ------------------------------------------------------------------- cases
@@ -193,24 +178,25 @@ def _bench_fading(results: List[TimingResult], repeats: int, warmup: int) -> Non
 def _bench_burst_micro(
     results: List[TimingResult], repeats: int, warmup: int, n_bursts: int
 ) -> None:
-    from repro.experiments.scenarios import build_cell_edge_deployment
+    from repro.api import Session
 
     def run(mode: str) -> None:
         with burst_path(mode):
-            deployment, mobile = build_cell_edge_deployment(1, scenario="walk")
-            station = deployment.station("cellB")
-            links = deployment.links
-            for k in range(n_bursts):
-                t = k * 0.02
-                pose = mobile.pose_at(t)
-                links.measure_burst(
-                    station,
-                    mobile.mobile_id,
-                    pose,
-                    mobile.rx_gain_fn(t, pose),
-                    3,
-                    t,
-                )
+            with Session(scenario="walk", seed=1) as session:
+                mobile = session.mobile
+                station = session.deployment.station("cellB")
+                links = session.deployment.links
+                for k in range(n_bursts):
+                    t = k * 0.02
+                    pose = mobile.pose_at(t)
+                    links.measure_burst(
+                        station,
+                        mobile.mobile_id,
+                        pose,
+                        mobile.rx_gain_fn(t, pose),
+                        3,
+                        t,
+                    )
 
     meta = {"n_bursts": n_bursts, "ssb_per_burst": 18}
     results.append(
@@ -258,9 +244,11 @@ def _bench_fig2a_burst_heavy(
 
     def run(mode: str) -> None:
         with burst_path(mode):
-            deployment, mobile = _build_burst_heavy_deployment(1, beamwidth_deg)
-            mobile.attach_listener(_SweepListener(len(mobile.codebook)))
-            deployment.run(duration_s)
+            with _burst_heavy_session(1, beamwidth_deg) as session:
+                session.attach_listener(
+                    _SweepListener(len(session.mobile.codebook))
+                )
+                session.run(duration_s)
 
     meta = {
         "scenario": "walk",

@@ -43,7 +43,6 @@ from repro.campaign.aggregate import (
 )
 from repro.campaign.progress import ConsoleProgress, NullProgress, ProgressReporter
 from repro.campaign.runner import (
-    EXPERIMENTS,
     CampaignError,
     CampaignResult,
     decode_payload,
@@ -52,7 +51,6 @@ from repro.campaign.runner import (
     run_campaign,
 )
 from repro.campaign.spec import (
-    EXPERIMENT_KINDS,
     CampaignCell,
     CampaignSpec,
     SpecError,
@@ -61,6 +59,21 @@ from repro.campaign.spec import (
     load_spec,
 )
 from repro.campaign.store import ArtifactStore, StoreError
+
+
+def __getattr__(name: str):
+    # Back-compat aliases for the pre-registry experiment table: both
+    # now resolve through repro.registry (lazily, to keep importing
+    # this package from pulling in every experiment module).
+    if name == "EXPERIMENTS":
+        from repro.registry import EXPERIMENTS
+
+        return EXPERIMENTS
+    if name == "EXPERIMENT_KINDS":
+        from repro.registry import EXPERIMENTS
+
+        return EXPERIMENTS.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "EXPERIMENTS",

@@ -12,23 +12,24 @@ of the campaign completes, and a :class:`CampaignError` summarising the
 failures is raised at the end — a subsequent resume retries exactly the
 failed/missing cells.
 
-Experiment kinds are registered in :data:`EXPERIMENTS`; the trial
-functions are imported lazily so ``repro.experiments`` modules can in
-turn import this package for their thin one-shot wrappers.
+Experiment kinds are registered in :data:`repro.registry.EXPERIMENTS`
+(the built-ins by the ``repro.experiments`` modules themselves, plugins
+via :func:`repro.registry.register_experiment`); the registry is
+queried lazily so ``repro.experiments`` modules can in turn import this
+package for their thin one-shot wrappers.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.campaign.progress import NullProgress, ProgressReporter
-from repro.campaign.spec import CampaignCell, CampaignSpec, build_config
+from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ArtifactStore
 
 PathLike = Union[str, Path]
@@ -47,126 +48,23 @@ class CampaignError(RuntimeError):
 
 
 # --------------------------------------------------------------- experiments
-def _run_search(cell: CampaignCell) -> dict:
-    from repro.experiments.fig2a import run_search_trial
-
-    result = run_search_trial(
-        cell.protocol,
-        scenario=cell.scenario,
-        seed=cell.seed,
-        deadline_s=float(cell.params.get("deadline_s", 1.0)),
-    )
-    return dataclasses.asdict(result)
-
-
-def _decode_search(payload: dict):
-    from repro.experiments.fig2a import SearchTrialResult
-
-    return SearchTrialResult(**payload)
-
-
-def _run_tracking(cell: CampaignCell) -> dict:
-    from repro.experiments.fig2c import run_tracking_trial
-
-    result = run_tracking_trial(
-        cell.scenario,
-        seed=cell.seed,
-        config=build_config(cell.overrides),
-        codebook=cell.protocol,
-        duration_s=cell.params.get("duration_s"),
-    )
-    payload = dataclasses.asdict(result)
-    payload["outcome"] = result.outcome.value if result.outcome else None
-    return payload
-
-
-def _decode_tracking(payload: dict):
-    from repro.experiments.fig2c import TrackingTrialResult
-    from repro.net.handover import HandoverOutcome
-
-    record = dict(payload)
-    outcome = record.get("outcome")
-    record["outcome"] = HandoverOutcome(outcome) if outcome else None
-    return TrackingTrialResult(**record)
-
-
-def _run_comparison(cell: CampaignCell) -> dict:
-    from repro.experiments.comparison import run_comparison_trial
-
-    return dataclasses.asdict(
-        run_comparison_trial(
-            cell.protocol,
-            cell.scenario,
-            seed=cell.seed,
-            config=build_config(cell.overrides),
-            codebook=str(cell.params.get("codebook", "narrow")),
-            duration_s=cell.params.get("duration_s"),
-        )
-    )
-
-
-def _decode_comparison(payload: dict):
-    from repro.experiments.comparison import ComparisonTrialResult
-
-    return ComparisonTrialResult(**payload)
-
-
-def _run_workload(cell: CampaignCell) -> dict:
-    from repro.experiments.workloads import (
-        detection_duty_cycle,
-        generate_rss_trace,
-    )
-
-    trace = generate_rss_trace(
-        cell_id=str(cell.params.get("cell", "cellB")),
-        scenario=cell.scenario,
-        seed=cell.seed,
-        duration_s=float(cell.params.get("duration_s", 4.0)),
-        period_s=float(cell.params.get("period_s", 0.020)),
-        rx_beam_policy=cell.protocol,
-        fixed_rx_beam=int(cell.params.get("fixed_rx_beam", 0)),
-    )
-    return {
-        "points": [dataclasses.asdict(point) for point in trace],
-        "duty_cycle": detection_duty_cycle(trace),
-    }
-
-
-def _decode_workload(payload: dict):
-    from repro.experiments.workloads import RssTracePoint
-
-    return [RssTracePoint(**point) for point in payload["points"]]
-
-
-@dataclass(frozen=True)
-class ExperimentKind:
-    """How to execute one cell of a kind and decode its artifact."""
-
-    run: Callable[[CampaignCell], dict]
-    decode: Callable[[dict], object]
-
-
-EXPERIMENTS: Dict[str, ExperimentKind] = {
-    "search": ExperimentKind(_run_search, _decode_search),
-    "tracking": ExperimentKind(_run_tracking, _decode_tracking),
-    "comparison": ExperimentKind(_run_comparison, _decode_comparison),
-    "workload": ExperimentKind(_run_workload, _decode_workload),
-}
-
-
 def execute_cell(cell: CampaignCell) -> dict:
-    """Run one cell to completion; returns its JSON-safe payload."""
-    kind = EXPERIMENTS.get(cell.experiment)
-    if kind is None:
-        raise CampaignError(
-            f"no runner for experiment kind {cell.experiment!r}", {}
-        )
-    return kind.run(cell)
+    """Run one cell to completion; returns its JSON-safe payload.
+
+    The experiment kind is resolved through
+    :data:`repro.registry.EXPERIMENTS`, so registered plugin kinds
+    execute exactly like the built-ins.
+    """
+    from repro.registry import EXPERIMENTS
+
+    return EXPERIMENTS.get(cell.experiment).run(cell)
 
 
 def decode_payload(experiment: str, payload: dict):
     """Rebuild the trial dataclass an artifact payload serialised."""
-    return EXPERIMENTS[experiment].decode(payload)
+    from repro.registry import EXPERIMENTS
+
+    return EXPERIMENTS.get(experiment).decode(payload)
 
 
 def _execute_cell_task(record: dict) -> Tuple[str, Optional[dict], Optional[str], float]:

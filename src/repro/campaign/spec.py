@@ -12,16 +12,16 @@ by one campaign are recognised and skipped by any later campaign that
 contains the same cell, and an interrupted run resumes exactly where it
 stopped.
 
-The ``protocols`` axis is interpreted per experiment kind:
-
-========== ===========================================================
-kind       protocol axis meaning
-========== ===========================================================
-search     mobile receive-codebook kind (``narrow``/``wide``/``omni``)
-tracking   mobile receive-codebook kind
-comparison protocol arm (``silent-tracker``/``reactive``/``oracle``)
-workload   receive-beam policy (``best``/``fixed``)
-========== ===========================================================
+The ``protocols`` axis is interpreted per experiment kind: each kind
+registered in :data:`repro.registry.EXPERIMENTS` declares the meaning
+(``protocol_axis``) and the valid values (``protocol_names()``) of its
+axis — codebook kinds for ``search``/``tracking``/``pingpong``,
+protocol arms for ``comparison``, receive-beam policies for
+``workload``, search strategies for ``hierarchical``.  Spec
+construction validates every axis value against the registries, so a
+typo'd arm fails here, listing the valid choices, instead of deep
+inside a worker process mid-campaign; ``repro list`` prints the live
+sets.
 """
 
 from __future__ import annotations
@@ -32,10 +32,6 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
-
-#: Experiment kinds the runner knows how to execute (see
-#: :data:`repro.campaign.runner.EXPERIMENTS`).
-EXPERIMENT_KINDS = ("search", "tracking", "comparison", "workload")
 
 #: Hex digits of SHA-256 kept for a cell ID: collision-safe for any
 #: realistic grid (64-bit space) yet short enough for filenames/logs.
@@ -129,7 +125,7 @@ class CampaignSpec:
     name:
         Human-readable campaign name (not part of cell IDs).
     experiment:
-        One of :data:`EXPERIMENT_KINDS`.
+        A kind registered in :data:`repro.registry.EXPERIMENTS`.
     scenarios:
         Mobility scenarios to sweep.
     protocols:
@@ -165,13 +161,14 @@ class CampaignSpec:
     params: Mapping = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        from repro.registry import EXPERIMENTS, UnknownNameError
+
         if not self.name:
             raise SpecError("campaign name must be non-empty")
-        if self.experiment not in EXPERIMENT_KINDS:
-            raise SpecError(
-                f"unknown experiment kind {self.experiment!r}; "
-                f"expected one of {EXPERIMENT_KINDS}"
-            )
+        try:
+            kind = EXPERIMENTS.get(self.experiment)
+        except UnknownNameError as error:
+            raise SpecError(str(error)) from None
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "protocols", tuple(self.protocols))
         if not self.scenarios:
@@ -190,13 +187,22 @@ class CampaignSpec:
             raise SpecError(
                 f"base seed must be non-negative, got {self.base_seed!r}"
             )
-        from repro.experiments.scenarios import SCENARIO_NAMES
+        from repro.registry import SCENARIOS
 
         for scenario in self.scenarios:
-            if scenario not in SCENARIO_NAMES:
-                raise SpecError(
-                    f"unknown scenario {scenario!r}; expected {SCENARIO_NAMES}"
-                )
+            try:
+                SCENARIOS.get(scenario)
+            except UnknownNameError as error:
+                raise SpecError(str(error)) from None
+        valid_protocols = kind.protocol_names()
+        if valid_protocols is not None:
+            for protocol in self.protocols:
+                if protocol not in valid_protocols:
+                    raise SpecError(
+                        f"unknown {kind.protocol_axis} {protocol!r} for "
+                        f"experiment {self.experiment!r}; known: "
+                        f"{', '.join(sorted(valid_protocols))}"
+                    )
         if not self.overrides:
             raise SpecError("need >= 1 override arm (use {'default': {}})")
         canonical_json(dict(self.overrides))  # must be JSON-serialisable
@@ -273,6 +279,16 @@ class CampaignSpec:
             json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n",
             encoding="utf-8",
         )
+
+
+def __getattr__(name: str):
+    # Back-compat: EXPERIMENT_KINDS used to be a static tuple here; it
+    # now reflects the live experiment registry (plugins included).
+    if name == "EXPERIMENT_KINDS":
+        from repro.registry import EXPERIMENTS
+
+        return EXPERIMENTS.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def load_spec(path: PathLike) -> CampaignSpec:

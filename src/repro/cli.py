@@ -8,45 +8,55 @@ Commands
 ``compare``     Silent Tracker vs reactive vs oracle.
 ``fsm``         print the Fig. 2b state machine (ASCII or DOT).
 ``report``      full markdown reproduction report.
+``list``        print the plugin registries (protocols, scenarios,
+                codebooks, experiments), ``--json`` for machines.
 ``campaign``    parallel experiment campaigns with persistent
                 artifacts: ``run`` / ``resume`` / ``summarize``.
 ``bench``       PHY performance benchmarks (scalar vs vectorized burst
                 path), written to ``BENCH_phy.json``.
+
+Unknown protocol / scenario / codebook / experiment names exit with
+status 2 and a message listing the registered choices.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.stats import empirical_cdf, summarize
 from repro.analysis.tables import format_cdf_series, format_table
 from repro.campaign.runner import CampaignError
-from repro.campaign.spec import EXPERIMENT_KINDS, SpecError
+from repro.campaign.spec import SpecError
 from repro.campaign.store import StoreError
+from repro.registry import (
+    CODEBOOKS,
+    EXPERIMENTS,
+    PROTOCOLS,
+    SCENARIOS,
+    RegistryError,
+    entry_description,
+)
 
-#: Protocol-axis default per experiment kind when built from CLI flags.
-_CAMPAIGN_DEFAULT_PROTOCOLS = {
-    "search": "narrow,wide,omni",
-    "tracking": "narrow",
-    "comparison": "silent-tracker,reactive,oracle",
-    "workload": "best,fixed",
-}
+#: The four public registries, in ``repro list`` display order.
+_REGISTRY_SECTIONS = ("protocols", "scenarios", "codebooks", "experiments")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro.core.silent_tracker import SilentTracker
-    from repro.experiments.scenarios import build_cell_edge_deployment
+    from repro.api import Session, TrialSpec
 
-    deployment, mobile = build_cell_edge_deployment(
-        args.seed, scenario=args.scenario
+    spec = TrialSpec(
+        scenario=args.scenario,
+        protocol="silent-tracker",
+        seed=args.seed,
+        duration_s=args.duration,
     )
-    protocol = SilentTracker(deployment, mobile, "cellA")
-    protocol.start()
-    deployment.run(args.duration)
-    protocol.stop()
-    print(f"final serving cell: {mobile.connection.serving_cell}")
+    with Session(spec) as session:
+        protocol = session.attach_protocol()
+        session.run()
+    print(f"final serving cell: {session.mobile.connection.serving_cell}")
     for record in protocol.handover_log.records:
         if record.complete_s is None:
             continue
@@ -185,6 +195,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry_records(section: str) -> List[dict]:
+    """JSON-friendly rows for one registry section of ``repro list``."""
+    if section == "protocols":
+        return [
+            {"name": name, "description": entry_description(factory)}
+            for name, factory in PROTOCOLS.items()
+        ]
+    if section == "scenarios":
+        return [
+            {
+                "name": scenario.name,
+                "description": scenario.description,
+                "duration_s": scenario.duration_s,
+                "default_start_x": scenario.default_start_x,
+            }
+            for _, scenario in SCENARIOS.items()
+        ]
+    if section == "codebooks":
+        return [
+            {"name": name, "description": entry_description(factory)}
+            for name, factory in CODEBOOKS.items()
+        ]
+    return [
+        {
+            "name": kind.name,
+            "description": kind.description,
+            "protocol_axis": kind.protocol_axis,
+            "protocols": list(kind.protocol_names() or ()),
+            "default_protocols": list(kind.default_protocols),
+        }
+        for _, kind in EXPERIMENTS.items()
+    ]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    sections = [args.registry] if args.registry else list(_REGISTRY_SECTIONS)
+    if args.json:
+        payload = {section: _registry_records(section) for section in sections}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for section in sections:
+        records = _registry_records(section)
+        if section == "scenarios":
+            headers = ["name", "duration (s)", "start x", "description"]
+            rows = [
+                [r["name"], r["duration_s"], r["default_start_x"], r["description"]]
+                for r in records
+            ]
+        elif section == "experiments":
+            headers = ["name", "protocol axis", "arms", "description"]
+            rows = [
+                [
+                    r["name"],
+                    r["protocol_axis"],
+                    ",".join(r["protocols"]),
+                    r["description"],
+                ]
+                for r in records
+            ]
+        else:
+            headers = ["name", "description"]
+            rows = [[r["name"], r["description"]] for r in records]
+        print(format_table(headers, rows, title=section))
+        print()
+    return 0
+
+
 def _print_campaign_summary(spec, pairs, completed: int) -> None:
     from repro.campaign.aggregate import summarize_campaign
 
@@ -208,7 +285,9 @@ def _campaign_spec_from_args(args: argparse.Namespace):
         return load_spec(args.spec)
     if not args.experiment:
         raise SystemExit("campaign run: provide --spec FILE or --experiment KIND")
-    protocols = args.protocols or _CAMPAIGN_DEFAULT_PROTOCOLS[args.experiment]
+    protocols = args.protocols or ",".join(
+        EXPERIMENTS.get(args.experiment).default_protocols
+    )
     return CampaignSpec(
         name=args.name,
         experiment=args.experiment,
@@ -303,9 +382,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Scenario/experiment names are validated against the registries by
+    # the command handlers (unknown names exit 2 listing the choices),
+    # not via argparse `choices`: evaluating the registries here would
+    # import every experiment module just to print --help, and would
+    # lock out plugin arms registered after parser construction.
     demo = sub.add_parser("demo", help="run one soft-handover demo")
     demo.add_argument("--scenario", default="walk",
-                      choices=("walk", "rotation", "vehicular"))
+                      help="registered scenario (see `repro list scenarios`)")
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--duration", type=float, default=6.0)
     demo.set_defaults(func=_cmd_demo)
@@ -313,7 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig2a = sub.add_parser("fig2a", help="reproduce Fig. 2a")
     fig2a.add_argument("--trials", type=int, default=20)
     fig2a.add_argument("--scenario", default="walk",
-                       choices=("walk", "rotation", "vehicular"))
+                       help="registered scenario (see `repro list scenarios`)")
     fig2a.add_argument("--seed", type=int, default=100)
     fig2a.add_argument("--workers", type=int, default=1)
     fig2a.set_defaults(func=_cmd_fig2a)
@@ -328,7 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="protocols head to head")
     compare.add_argument("--scenario", default="vehicular",
-                         choices=("walk", "rotation", "vehicular"))
+                         help="registered scenario (see `repro list scenarios`)")
     compare.add_argument("--trials", type=int, default=10)
     compare.add_argument("--seed", type=int, default=700)
     compare.add_argument("--workers", type=int, default=1)
@@ -347,6 +431,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write markdown here instead of stdout")
     report.set_defaults(func=_cmd_report)
 
+    list_cmd = sub.add_parser(
+        "list",
+        help="print the plugin registries (protocols, scenarios, ...)",
+    )
+    list_cmd.add_argument("registry", nargs="?", default=None,
+                          choices=_REGISTRY_SECTIONS,
+                          help="print one registry instead of all four")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    list_cmd.set_defaults(func=_cmd_list)
+
     campaign = sub.add_parser(
         "campaign",
         help="parallel experiment campaigns with persistent artifacts",
@@ -359,8 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="campaign spec JSON file (overrides grid flags)")
     run.add_argument("--name", default="campaign",
                      help="campaign name when built from flags")
-    run.add_argument("--experiment", default=None, choices=EXPERIMENT_KINDS,
-                     help="experiment kind when no --spec is given")
+    run.add_argument("--experiment", default=None,
+                     help="experiment kind when no --spec is given "
+                          "(see `repro list experiments`)")
     run.add_argument("--scenarios", default="walk,rotation,vehicular",
                      help="comma-separated mobility scenarios")
     run.add_argument("--protocols", default=None,
@@ -414,9 +510,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (CampaignError, SpecError, StoreError) as error:
-        # Operational campaign errors (bad spec, wrong directory, failed
-        # cells) are user-facing: a message beats a traceback.
+    except (CampaignError, RegistryError, SpecError, StoreError) as error:
+        # Operational errors (unknown registry name, bad spec, wrong
+        # directory, failed cells) are user-facing: a message listing
+        # the valid choices beats a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -25,6 +25,7 @@ from repro.net.deployment import Deployment
 from repro.net.handover import HandoverLog, HandoverOutcome
 from repro.net.mobile import Mobile
 from repro.net.random_access import RachResult, RandomAccessProcedure
+from repro.registry import make_protocol, register_protocol
 from repro.sim.engine import PeriodicTask
 
 
@@ -410,6 +411,42 @@ class OracleTracker:
         self._pending_record = None
 
 
+# ------------------------------------------------------------ protocol arms
+@register_protocol("silent-tracker")
+def _build_silent_tracker(
+    deployment: Deployment,
+    mobile: Mobile,
+    serving_cell: str,
+    config: Optional[SilentTrackerConfig] = None,
+):
+    """The paper's protocol: in-band silent neighbor tracking."""
+    from repro.core.silent_tracker import SilentTracker
+
+    return SilentTracker(deployment, mobile, serving_cell, config)
+
+
+@register_protocol("reactive")
+def _build_reactive(
+    deployment: Deployment,
+    mobile: Mobile,
+    serving_cell: str,
+    config: Optional[SilentTrackerConfig] = None,
+):
+    """Reactive hard handover: full blind search after the link dies."""
+    return ReactiveHandover(deployment, mobile, serving_cell, config)
+
+
+@register_protocol("oracle")
+def _build_oracle(
+    deployment: Deployment,
+    mobile: Mobile,
+    serving_cell: str,
+    config: Optional[SilentTrackerConfig] = None,
+):
+    """Genie upper bound: perfect beams and a perfect trigger."""
+    return OracleTracker(deployment, mobile, serving_cell)
+
+
 def make_baseline(
     name: str,
     deployment: Deployment,
@@ -417,22 +454,9 @@ def make_baseline(
     serving_cell: str,
     config: Optional[SilentTrackerConfig] = None,
 ):
-    """Factory used by the comparison benches.
+    """Build any registered protocol arm (not just the paper's three).
 
-    ``name`` is one of ``"silent-tracker"``, ``"reactive"``, ``"oracle"``.
+    Thin wrapper over :func:`repro.registry.make_protocol`; unknown
+    names raise with the full list of registered arms.
     """
-    from repro.core.silent_tracker import SilentTracker
-
-    builders = {
-        "silent-tracker": lambda: SilentTracker(
-            deployment, mobile, serving_cell, config
-        ),
-        "reactive": lambda: ReactiveHandover(deployment, mobile, serving_cell, config),
-        "oracle": lambda: OracleTracker(deployment, mobile, serving_cell),
-    }
-    try:
-        return builders[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown baseline {name!r}; expected one of {sorted(builders)}"
-        ) from None
+    return make_protocol(name, deployment, mobile, serving_cell, config)

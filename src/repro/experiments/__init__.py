@@ -9,6 +9,14 @@
 * :mod:`repro.experiments.ablations` — threshold and codebook sweeps.
 * :mod:`repro.experiments.comparison` — Silent Tracker vs reactive hard
   handover vs oracle.
+* :mod:`repro.experiments.hierarchical` — exhaustive vs two-stage
+  (coarse -> fine) neighbor search.
+* :mod:`repro.experiments.pingpong` — handover churn vs time-to-trigger.
+* :mod:`repro.experiments.workloads` — canned RSS traces and replay.
+
+Each module registers its scenario/codebook/experiment arms in
+:mod:`repro.registry`; trials run through the
+:class:`repro.api.Session` lifecycle.
 """
 
 from repro.experiments.scenarios import (

@@ -5,25 +5,33 @@ that ignores neighbors until its serving link dies pays the full
 directional search plus context-free initial access — seconds of
 interruption — while Silent Tracker's silently tracked beam converts
 the same crossing into a make-before-break switch.
+
+The module registers the ``comparison`` experiment kind: its campaign
+``protocols`` axis is the protocol arm itself, validated against
+:data:`repro.registry.PROTOCOLS` — so a plugin protocol registered via
+:func:`repro.registry.register_protocol` slots straight into the same
+paired-seed grid as the paper's three arms.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.api import Session, TrialSpec
 from repro.campaign.aggregate import aggregate_comparison
 from repro.campaign.runner import run_campaign
-from repro.campaign.spec import CampaignSpec
-from repro.core.baselines import make_baseline
+from repro.campaign.spec import CampaignSpec, build_config
 from repro.core.config import SilentTrackerConfig
-from repro.experiments.scenarios import build_cell_edge_deployment
 from repro.net.handover import HandoverOutcome
+from repro.registry import PROTOCOLS, register_experiment
 
 SERVING_CELL = "cellA"
 
 #: Long enough for the serving link to actually die in every scenario,
 #: which the reactive baseline requires before it does anything.
+#: Scenarios not listed here fall back to their registered duration.
 COMPARISON_DURATION_S = {"walk": 20.0, "rotation": 12.0, "vehicular": 6.0}
 
 
@@ -49,17 +57,24 @@ def run_comparison_trial(
     codebook: str = "narrow",
     duration_s: Optional[float] = None,
 ) -> ComparisonTrialResult:
-    """Run one protocol arm through one scenario."""
+    """Run one registered protocol arm through one scenario."""
     # The walk must continue well past the boundary so the serving cell
     # genuinely dies for the reactive arm; start further back so Silent
     # Tracker sees the same crossing.
-    deployment, mobile = build_cell_edge_deployment(
-        seed, mobile_codebook=codebook, scenario=scenario
+    if duration_s is None:
+        duration_s = COMPARISON_DURATION_S.get(scenario)
+    spec = TrialSpec(
+        scenario=scenario,
+        codebook=codebook,
+        protocol=protocol_name,
+        seed=seed,
+        duration_s=duration_s,
+        serving_cell=SERVING_CELL,
+        config=config,
     )
-    protocol = make_baseline(protocol_name, deployment, mobile, SERVING_CELL, config)
-    protocol.start()
-    deployment.run(duration_s or COMPARISON_DURATION_S[scenario])
-    protocol.stop()
+    with Session(spec) as session:
+        protocol = session.attach_protocol()
+        session.run()
     records = [r for r in protocol.handover_log.records if r.complete_s is not None]
     first = records[0] if records else None
     return ComparisonTrialResult(
@@ -74,6 +89,34 @@ def run_comparison_trial(
             1 for r in records if r.outcome is HandoverOutcome.HARD
         ),
         first_interruption_s=first.interruption_s if first else None,
+    )
+
+
+# ----------------------------------------------------------- experiment kind
+def _decode_comparison(payload: dict) -> ComparisonTrialResult:
+    return ComparisonTrialResult(**payload)
+
+
+@register_experiment(
+    "comparison",
+    decode=_decode_comparison,
+    axis="protocol",
+    protocol_axis="protocol",
+    protocol_names=PROTOCOLS.names,
+    default_protocols=("silent-tracker", "reactive", "oracle"),
+    description="protocol arms head to head over paired seeds",
+    accepts_config=True,
+)
+def _run_comparison_cell(cell) -> dict:
+    return dataclasses.asdict(
+        run_comparison_trial(
+            cell.protocol,
+            cell.scenario,
+            seed=cell.seed,
+            config=build_config(cell.overrides),
+            codebook=str(cell.params.get("codebook", "narrow")),
+            duration_s=cell.params.get("duration_s"),
+        )
     )
 
 

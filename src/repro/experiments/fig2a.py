@@ -13,20 +13,26 @@ model and runs a pure acquisition search (the N-A/R machinery) for the
 neighbor cell.  Narrow beams need more dwells (more codebook entries to
 walk) but succeed far more often: their extra gain keeps the SSB above
 the detection floor where the omni antenna hears nothing.
+
+The module registers the ``search`` experiment kind: its campaign
+``protocols`` axis is the mobile receive-codebook kind, validated
+against :data:`repro.registry.CODEBOOKS`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.api import Session, TrialSpec
 from repro.campaign.aggregate import aggregate_search
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec
 from repro.core.events import NeighborState
 from repro.core.neighbor_tracker import NeighborTracker
-from repro.experiments.scenarios import build_cell_edge_deployment
 from repro.measure.report import RssMeasurement
+from repro.registry import CODEBOOKS, register_experiment
 
 #: The neighbor cell the mobile searches for (serving is cellA).
 TARGET_CELL = "cellB"
@@ -78,14 +84,15 @@ def run_search_trial(
     deadline_s: float = 1.0,
 ) -> SearchTrialResult:
     """One search trial: success iff the beam is found within the deadline."""
-    deployment, mobile = build_cell_edge_deployment(
-        seed, mobile_codebook=codebook, scenario=scenario
+    spec = TrialSpec(
+        scenario=scenario, codebook=codebook, seed=seed, duration_s=deadline_s
     )
-    tracker = NeighborTracker(mobile.codebook, [TARGET_CELL])
-    probe = NeighborSearchProbe(tracker, TARGET_CELL)
-    mobile.attach_listener(probe)
-    tracker.begin_search(0.0)
-    deployment.run(deadline_s)
+    with Session(spec) as session:
+        tracker = NeighborTracker(session.mobile.codebook, [TARGET_CELL])
+        probe = NeighborSearchProbe(tracker, TARGET_CELL)
+        session.attach_listener(probe)
+        tracker.begin_search(0.0)
+        session.run()
     success = tracker.state is NeighborState.TRACKING
     dwells = (
         tracker.search_dwells_at_found
@@ -100,6 +107,31 @@ def run_search_trial(
         scenario=scenario,
         seed=seed,
     )
+
+
+# ----------------------------------------------------------- experiment kind
+def _decode_search(payload: dict) -> SearchTrialResult:
+    return SearchTrialResult(**payload)
+
+
+@register_experiment(
+    "search",
+    decode=_decode_search,
+    axis="codebook",
+    protocol_axis="codebook",
+    protocol_names=CODEBOOKS.names,
+    default_protocols=("narrow", "wide", "omni"),
+    description="Fig. 2a directional neighbor search (latency + success)",
+    duration_param="deadline_s",
+)
+def _run_search_cell(cell) -> dict:
+    result = run_search_trial(
+        cell.protocol,
+        scenario=cell.scenario,
+        seed=cell.seed,
+        deadline_s=float(cell.params.get("deadline_s", 1.0)),
+    )
+    return dataclasses.asdict(result)
 
 
 def fig2a_spec(

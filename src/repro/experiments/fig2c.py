@@ -8,24 +8,25 @@ conclusion (msg4).  The paper's Fig. 2c plots the CDF of this quantity
 per scenario; all three concentrate between roughly 0.4 and 1.8 s, with
 the fast-dynamics scenarios (rotation, vehicular) carrying heavier
 tails from beam re-acquisitions.
+
+The module registers the ``tracking`` experiment kind: its campaign
+``protocols`` axis is the mobile receive-codebook kind.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.api import Session, TrialSpec
 from repro.campaign.aggregate import aggregate_tracking
 from repro.campaign.runner import run_campaign
-from repro.campaign.spec import CampaignSpec, config_to_overrides
+from repro.campaign.spec import CampaignSpec, build_config, config_to_overrides
 from repro.core.config import SilentTrackerConfig
-from repro.core.silent_tracker import SilentTracker
-from repro.experiments.scenarios import (
-    SCENARIO_NAMES,
-    build_cell_edge_deployment,
-    scenario_duration_s,
-)
+from repro.experiments.scenarios import SCENARIO_NAMES
 from repro.net.handover import HandoverOutcome
+from repro.registry import CODEBOOKS, register_experiment
 
 SERVING_CELL = "cellA"
 
@@ -56,15 +57,18 @@ def run_tracking_trial(
     duration_s: Optional[float] = None,
 ) -> TrackingTrialResult:
     """One end-to-end Silent Tracker run; reports the first handover episode."""
-    if scenario not in SCENARIO_NAMES:
-        raise ValueError(f"unknown scenario {scenario!r}; expected {SCENARIO_NAMES}")
-    deployment, mobile = build_cell_edge_deployment(
-        seed, mobile_codebook=codebook, scenario=scenario
+    spec = TrialSpec(
+        scenario=scenario,
+        codebook=codebook,
+        protocol="silent-tracker",
+        seed=seed,
+        duration_s=duration_s,
+        serving_cell=SERVING_CELL,
+        config=config,
     )
-    protocol = SilentTracker(deployment, mobile, SERVING_CELL, config)
-    protocol.start()
-    deployment.run(duration_s or scenario_duration_s(scenario))
-    protocol.stop()
+    with Session(spec) as session:
+        protocol = session.attach_protocol()
+        session.run()
 
     timeline = next(
         (t for t in protocol.timelines if t.complete_s is not None), None
@@ -87,6 +91,37 @@ def run_tracking_trial(
         ),
         rach_attempts=completed_record.rach_attempts if completed_record else 0,
     )
+
+
+# ----------------------------------------------------------- experiment kind
+def _decode_tracking(payload: dict) -> TrackingTrialResult:
+    record = dict(payload)
+    outcome = record.get("outcome")
+    record["outcome"] = HandoverOutcome(outcome) if outcome else None
+    return TrackingTrialResult(**record)
+
+
+@register_experiment(
+    "tracking",
+    decode=_decode_tracking,
+    axis="codebook",
+    protocol_axis="codebook",
+    protocol_names=CODEBOOKS.names,
+    default_protocols=("narrow",),
+    description="Fig. 2c full Silent Tracker handover episodes",
+    accepts_config=True,
+)
+def _run_tracking_cell(cell) -> dict:
+    result = run_tracking_trial(
+        cell.scenario,
+        seed=cell.seed,
+        config=build_config(cell.overrides),
+        codebook=cell.protocol,
+        duration_s=cell.params.get("duration_s"),
+    )
+    payload = dataclasses.asdict(result)
+    payload["outcome"] = result.outcome.value if result.outcome else None
+    return payload
 
 
 def fig2c_spec(

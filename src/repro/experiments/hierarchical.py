@@ -11,29 +11,46 @@ experiment quantifies the trade the paper implicitly makes:
 * the coarse tier has **less gain**, so at the cell edge the first
   stage itself starts missing — exactly the Fig. 2a wide-beam failure
   mode — and the two-stage search loses its advantage.
+
+The module registers the ``hierarchical`` experiment kind: its campaign
+``protocols`` axis is the search strategy (:data:`SEARCH_STRATEGIES`),
+so exhaustive-vs-hierarchical runs as a paired-seed grid like every
+other comparison.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import summarize, success_rate
+from repro.api import Session, TrialSpec
+from repro.campaign.aggregate import aggregate_by_protocol
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.core.events import NeighborState
 from repro.core.neighbor_tracker import NeighborTracker
 from repro.experiments.fig2a import TARGET_CELL, NeighborSearchProbe
-from repro.experiments.scenarios import build_cell_edge_deployment
 from repro.measure.report import RssMeasurement
 from repro.phy.codebook import Codebook, HierarchicalCodebook
+from repro.registry import register_experiment
+
+#: The search-strategy arms of the ``hierarchical`` experiment kind.
+SEARCH_STRATEGIES = ("exhaustive", "hierarchical")
 
 
 @dataclass(frozen=True)
 class HierarchicalTrialResult:
-    """Outcome of one two-stage search trial."""
+    """Outcome of one search-strategy trial.
+
+    ``stage_reached`` is 1 (coarse only) or 2 (refined) for the
+    two-stage strategy, and 0 for the single-tier exhaustive baseline.
+    """
 
     success: bool
     dwells: int
-    stage_reached: int  # 1 = coarse only, 2 = refined
+    stage_reached: int
     seed: int
 
 
@@ -129,15 +146,18 @@ def run_hierarchical_trial(
     fine_deg: float = 20.0,
 ) -> HierarchicalTrialResult:
     """One two-stage search trial against the cell-edge deployment."""
-    deployment, mobile = build_cell_edge_deployment(
-        seed, mobile_codebook="narrow", scenario=scenario
+    spec = TrialSpec(
+        scenario=scenario, codebook="narrow", seed=seed, duration_s=deadline_s
     )
-    coarse = Codebook.uniform_azimuth(coarse_deg, name="coarse")
-    fine = Codebook.uniform_azimuth(fine_deg, name="fine")
-    hierarchy = HierarchicalCodebook(coarse, fine)
-    probe = HierarchicalSearchProbe(hierarchy, TARGET_CELL)
-    mobile.attach_listener(TierSwitchingMobileShim(mobile, probe, coarse, fine))
-    deployment.run(deadline_s)
+    with Session(spec) as session:
+        coarse = Codebook.uniform_azimuth(coarse_deg, name="coarse")
+        fine = Codebook.uniform_azimuth(fine_deg, name="fine")
+        hierarchy = HierarchicalCodebook(coarse, fine)
+        probe = HierarchicalSearchProbe(hierarchy, TARGET_CELL)
+        session.attach_listener(
+            TierSwitchingMobileShim(session.mobile, probe, coarse, fine)
+        )
+        session.run()
     return HierarchicalTrialResult(
         success=probe.done,
         dwells=probe.dwells,
@@ -146,23 +166,77 @@ def run_hierarchical_trial(
     )
 
 
-def run_exhaustive_trial(seed: int, scenario: str, deadline_s: float):
+def run_exhaustive_trial(
+    seed: int, scenario: str, deadline_s: float
+) -> HierarchicalTrialResult:
     """Exhaustive narrow-beam search baseline (same machinery as Fig 2a)."""
-    deployment, mobile = build_cell_edge_deployment(
-        seed, mobile_codebook="narrow", scenario=scenario
+    spec = TrialSpec(
+        scenario=scenario, codebook="narrow", seed=seed, duration_s=deadline_s
     )
-    tracker = NeighborTracker(mobile.codebook, [TARGET_CELL])
-    probe = NeighborSearchProbe(tracker, TARGET_CELL)
-    mobile.attach_listener(probe)
-    tracker.begin_search(0.0)
-    deployment.run(deadline_s)
+    with Session(spec) as session:
+        tracker = NeighborTracker(session.mobile.codebook, [TARGET_CELL])
+        probe = NeighborSearchProbe(tracker, TARGET_CELL)
+        session.attach_listener(probe)
+        tracker.begin_search(0.0)
+        session.run()
     success = tracker.state is NeighborState.TRACKING
     dwells = (
         tracker.search_dwells_at_found
         if success and tracker.search_dwells_at_found is not None
         else tracker.search_dwells
     )
-    return success, dwells
+    return HierarchicalTrialResult(
+        success=success, dwells=dwells, stage_reached=0, seed=seed
+    )
+
+
+# ----------------------------------------------------------- experiment kind
+def _decode_strategy(payload: dict) -> HierarchicalTrialResult:
+    return HierarchicalTrialResult(**payload)
+
+
+@register_experiment(
+    "hierarchical",
+    decode=_decode_strategy,
+    axis="custom",
+    protocol_axis="search strategy",
+    protocol_names=lambda: SEARCH_STRATEGIES,
+    default_protocols=SEARCH_STRATEGIES,
+    description="exhaustive vs two-stage (coarse->fine) neighbor search",
+    duration_param="deadline_s",
+)
+def _run_strategy_cell(cell) -> dict:
+    deadline_s = float(cell.params.get("deadline_s", 1.0))
+    if cell.protocol == "exhaustive":
+        result = run_exhaustive_trial(cell.seed, cell.scenario, deadline_s)
+    else:
+        result = run_hierarchical_trial(
+            seed=cell.seed,
+            scenario=cell.scenario,
+            deadline_s=deadline_s,
+            coarse_deg=float(cell.params.get("coarse_deg", 60.0)),
+            fine_deg=float(cell.params.get("fine_deg", 20.0)),
+        )
+    return dataclasses.asdict(result)
+
+
+def strategy_spec(
+    n_trials: int = 20,
+    scenario: str = "walk",
+    deadline_s: float = 1.0,
+    base_seed: int = 3000,
+    name: str = "hierarchical",
+) -> CampaignSpec:
+    """Exhaustive-vs-hierarchical as a campaign grid (strategy x seed)."""
+    return CampaignSpec(
+        name=name,
+        experiment="hierarchical",
+        scenarios=(scenario,),
+        protocols=SEARCH_STRATEGIES,
+        seeds=n_trials,
+        base_seed=base_seed,
+        params={"deadline_s": deadline_s},
+    )
 
 
 def compare_search_strategies(
@@ -170,19 +244,24 @@ def compare_search_strategies(
     scenario: str = "walk",
     deadline_s: float = 1.0,
     base_seed: int = 3000,
+    workers: int = 1,
 ) -> Dict[str, dict]:
-    """Exhaustive vs hierarchical: success rate and dwell counts."""
-    if n_trials < 1:
-        raise ValueError(f"need >= 1 trial, got {n_trials!r}")
-    exhaustive = [
-        run_exhaustive_trial(base_seed + k, scenario, deadline_s)
-        for k in range(n_trials)
-    ]
-    hierarchical = [
-        run_hierarchical_trial(base_seed + k, scenario, deadline_s)
-        for k in range(n_trials)
-    ]
-    ex_successes = [d for ok, d in exhaustive if ok]
+    """Exhaustive vs hierarchical: success rate and dwell counts.
+
+    Thin wrapper over :func:`repro.campaign.runner.run_campaign` on the
+    :func:`strategy_spec` grid (paired seeds across the two arms).
+    """
+    spec = strategy_spec(
+        n_trials=n_trials,
+        scenario=scenario,
+        deadline_s=deadline_s,
+        base_seed=base_seed,
+    )
+    result = run_campaign(spec, workers=workers)
+    by_strategy = aggregate_by_protocol(result.results_in_order())
+    exhaustive = by_strategy.get("exhaustive", [])
+    hierarchical = by_strategy.get("hierarchical", [])
+    ex_successes = [t.dwells for t in exhaustive if t.success]
     hi_successes = [t.dwells for t in hierarchical if t.success]
     return {
         "exhaustive": {

@@ -8,16 +8,31 @@ signalling and a brief service dip.  NR counters this with a
 time-to-trigger (TTT): the margin must hold continuously before the
 event fires.  This ablation parks a slow walker at the boundary and
 counts churn as a function of TTT.
+
+The module registers the ``pingpong`` experiment kind: TTT arms are
+config overrides (the campaign ``overrides`` axis), the ``protocols``
+axis is the mobile codebook, and the boundary-loiter placement rides in
+the cell params.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.api import Session, TrialSpec
+from repro.campaign.aggregate import aggregate_sweep
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, build_config, config_to_overrides
 from repro.core.config import SilentTrackerConfig
-from repro.core.silent_tracker import SilentTracker
-from repro.experiments.scenarios import build_cell_edge_deployment
+from repro.registry import CODEBOOKS, register_experiment
+
+#: Boundary-loiter defaults: the 'walk' trajectory started at the
+#: equal-loss point gives a slow drift through the ping-pong zone.
+PINGPONG_SCENARIO = "walk"
+PINGPONG_START_X = 10.0
+PINGPONG_DURATION_S = 12.0
 
 
 @dataclass(frozen=True)
@@ -41,28 +56,27 @@ def _count_ping_pongs(records) -> int:
     return count
 
 
-def run_pingpong_trial(
-    time_to_trigger_s: float,
-    seed: int = 1,
-    margin_db: float = 3.0,
-    duration_s: float = 12.0,
+def _run_loiter_trial(
+    config: SilentTrackerConfig,
+    seed: int,
+    duration_s: float,
+    scenario: str = PINGPONG_SCENARIO,
+    start_x: Optional[float] = PINGPONG_START_X,
+    codebook: str = "narrow",
 ) -> PingPongTrialResult:
-    """Park the mobile at the A/B boundary and count the churn.
-
-    The 'walk' trajectory starting at the equal-loss point gives a slow
-    drift through the ping-pong zone.
-    """
-    config = SilentTrackerConfig(
-        handover_margin_db=margin_db,
-        time_to_trigger_s=time_to_trigger_s,
+    """One boundary-loiter run of Silent Tracker under ``config``."""
+    spec = TrialSpec(
+        scenario=scenario,
+        codebook=codebook,
+        protocol="silent-tracker",
+        seed=seed,
+        duration_s=duration_s,
+        start_x=start_x,
+        config=config,
     )
-    deployment, mobile = build_cell_edge_deployment(
-        seed, scenario="walk", start_x=10.0
-    )
-    protocol = SilentTracker(deployment, mobile, "cellA", config)
-    protocol.start()
-    deployment.run(duration_s)
-    protocol.stop()
+    with Session(spec) as session:
+        protocol = session.attach_protocol()
+        session.run()
     completed = [
         r for r in protocol.handover_log.records if r.complete_s is not None
     ]
@@ -77,25 +91,101 @@ def run_pingpong_trial(
     )
 
 
+def run_pingpong_trial(
+    time_to_trigger_s: float,
+    seed: int = 1,
+    margin_db: float = 3.0,
+    duration_s: float = PINGPONG_DURATION_S,
+) -> PingPongTrialResult:
+    """Park the mobile at the A/B boundary and count the churn."""
+    config = SilentTrackerConfig(
+        handover_margin_db=margin_db,
+        time_to_trigger_s=time_to_trigger_s,
+    )
+    return _run_loiter_trial(config, seed=seed, duration_s=duration_s)
+
+
+# ----------------------------------------------------------- experiment kind
+def _decode_pingpong(payload: dict) -> PingPongTrialResult:
+    return PingPongTrialResult(**payload)
+
+
+@register_experiment(
+    "pingpong",
+    decode=_decode_pingpong,
+    axis="codebook",
+    protocol_axis="codebook",
+    protocol_names=CODEBOOKS.names,
+    default_protocols=("narrow",),
+    description="handover churn at the cell boundary vs time-to-trigger",
+    accepts_config=True,
+)
+def _run_pingpong_cell(cell) -> dict:
+    config = build_config(cell.overrides) or SilentTrackerConfig()
+    start_x = cell.params.get("start_x", PINGPONG_START_X)
+    result = _run_loiter_trial(
+        config,
+        seed=cell.seed,
+        duration_s=float(cell.params.get("duration_s", PINGPONG_DURATION_S)),
+        scenario=cell.scenario,
+        start_x=None if start_x is None else float(start_x),
+        codebook=cell.protocol,
+    )
+    return dataclasses.asdict(result)
+
+
+def _ttt_label(time_to_trigger_s: float) -> str:
+    return f"ttt={int(round(time_to_trigger_s * 1000))}ms"
+
+
+def pingpong_spec(
+    ttt_s_values: Sequence[float] = (0.0, 0.16, 0.48),
+    n_trials: int = 10,
+    base_seed: int = 8000,
+    margin_db: float = 3.0,
+    duration_s: float = PINGPONG_DURATION_S,
+    name: str = "pingpong",
+) -> CampaignSpec:
+    """The TTT churn sweep as a campaign grid (override-label x seed)."""
+    overrides = {
+        _ttt_label(value): config_to_overrides(
+            SilentTrackerConfig(
+                handover_margin_db=margin_db, time_to_trigger_s=value
+            )
+        )
+        for value in ttt_s_values
+    }
+    return CampaignSpec(
+        name=name,
+        experiment="pingpong",
+        scenarios=(PINGPONG_SCENARIO,),
+        protocols=("narrow",),
+        seeds=n_trials,
+        base_seed=base_seed,
+        overrides=overrides,
+        params={"duration_s": duration_s, "start_x": PINGPONG_START_X},
+    )
+
+
 def sweep_time_to_trigger(
     ttt_s_values: Sequence[float] = (0.0, 0.16, 0.48),
     n_trials: int = 10,
     base_seed: int = 8000,
+    workers: int = 1,
 ) -> Dict[str, List[PingPongTrialResult]]:
     """Churn vs time-to-trigger, same seeds across arms (paired).
 
     The default values bracket NR's standardized TTT set (0, 160 ms,
-    480 ms).
+    480 ms).  Thin wrapper over
+    :func:`repro.campaign.runner.run_campaign` on the
+    :func:`pingpong_spec` grid.
     """
-    if n_trials < 1:
-        raise ValueError(f"need >= 1 trial, got {n_trials!r}")
-    return {
-        f"ttt={int(round(value * 1000))}ms": [
-            run_pingpong_trial(value, seed=base_seed + k)
-            for k in range(n_trials)
-        ]
-        for value in ttt_s_values
-    }
+    spec = pingpong_spec(
+        ttt_s_values=ttt_s_values, n_trials=n_trials, base_seed=base_seed
+    )
+    result = run_campaign(spec, workers=workers)
+    grouped = aggregate_sweep(result.results_in_order())
+    return {label: grouped[label] for label in spec.overrides}
 
 
 def summarize_pingpong(

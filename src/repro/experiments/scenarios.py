@@ -17,6 +17,11 @@ through 20-degree beams; with the mobile's codebook gain this leaves a
 comfortable margin for narrow beams, a slimmer one for 60-degree wide
 beams, and puts a bare omni receiver right at the detection floor —
 reproducing the Fig. 2a success-rate ordering from first principles.
+
+The mobility scenarios and mobile codebook kinds defined here are the
+*built-in* entries of :data:`repro.registry.SCENARIOS` and
+:data:`repro.registry.CODEBOOKS`; custom scenarios register through the
+same decorators and run through every experiment unchanged.
 """
 
 from __future__ import annotations
@@ -34,6 +39,12 @@ from repro.net.base_station import BaseStation
 from repro.net.deployment import Deployment, DeploymentConfig
 from repro.net.mobile import Mobile
 from repro.phy.codebook import Codebook
+from repro.registry import (
+    SCENARIOS,
+    make_codebook,
+    register_codebook,
+    register_scenario,
+)
 from repro.util.units import deg_per_s_to_rad_per_s, mph_to_mps
 
 #: Paper mobility parameters.
@@ -41,7 +52,9 @@ WALK_SPEED_MPS = 1.4
 ROTATION_RATE_DEG_S = 120.0
 VEHICLE_SPEED_MPH = 20.0
 
-#: Scenario registry.
+#: The paper's scenarios, in presentation order.  New scenarios are
+#: *registered* (see :func:`repro.registry.register_scenario`), not
+#: added here; query ``SCENARIOS.names()`` for the live set.
 SCENARIO_NAMES = ("walk", "rotation", "vehicular")
 
 #: Base-station grid.
@@ -57,23 +70,83 @@ STATION_PHASES_S = {"cellA": 0.000, "cellB": 0.005, "cellC": 0.010}
 BS_TX_POWER_DBM = 0.0
 BS_BEAMWIDTH_DEG = 20.0
 
-#: Mobile codebook kinds used across the figures.
+#: The paper's mobile codebook kinds; query ``CODEBOOKS.names()`` for
+#: the live set including plugins.
 CODEBOOK_KINDS = ("narrow", "wide", "omni")
+
+
+# ------------------------------------------------------------- codebook arms
+@register_codebook("narrow")
+def _narrow_codebook() -> Codebook:
+    """20-degree beams, 18 around the circle (the paper's default)."""
+    return Codebook.uniform_azimuth(20.0, name="narrow-20deg")
+
+
+@register_codebook("wide")
+def _wide_codebook() -> Codebook:
+    """60-degree beams, 6 around the circle."""
+    return Codebook.uniform_azimuth(60.0, name="wide-60deg")
+
+
+@register_codebook("omni")
+def _omni_codebook() -> Codebook:
+    """A single isotropic antenna (no beamforming gain)."""
+    return Codebook.omni()
 
 
 def make_mobile_codebook(kind: str) -> Codebook:
     """The mobile receive codebook for a Fig. 2a arm.
 
-    ``narrow`` = 20-degree beams (18 around the circle), ``wide`` =
-    60-degree (6 beams), ``omni`` = a single isotropic antenna.
+    ``kind`` is any registered codebook name — built-ins ``narrow`` (20
+    degree), ``wide`` (60 degree), ``omni`` — resolved through
+    :data:`repro.registry.CODEBOOKS`.
     """
-    if kind == "narrow":
-        return Codebook.uniform_azimuth(20.0, name="narrow-20deg")
-    if kind == "wide":
-        return Codebook.uniform_azimuth(60.0, name="wide-60deg")
-    if kind == "omni":
-        return Codebook.omni()
-    raise ValueError(f"unknown codebook kind {kind!r}; expected {CODEBOOK_KINDS}")
+    return make_codebook(kind)
+
+
+# ------------------------------------------------------------ scenario arms
+@register_scenario(
+    "walk",
+    duration_s=10.0,
+    default_start_x=10.0,
+    description="pedestrian walk along the street at 1.4 m/s",
+)
+def _build_walk(rng, start_x: float) -> Trajectory:
+    return HumanWalk(
+        Vec3(start_x, 0.0),
+        Vec3(WALK_SPEED_MPS, 0.0),
+        rng=rng,
+    )
+
+
+@register_scenario(
+    "rotation",
+    duration_s=8.0,
+    default_start_x=14.0,
+    description="stationary device rotating at 120 deg/s",
+)
+def _build_rotation(rng, start_x: float) -> Trajectory:
+    return DeviceRotation(
+        Vec3(start_x, 0.0),
+        deg_per_s_to_rad_per_s(ROTATION_RATE_DEG_S),
+        start_heading=0.0,
+        rng=rng,
+    )
+
+
+@register_scenario(
+    "vehicular",
+    duration_s=4.0,
+    default_start_x=7.0,
+    description="vehicle drive-by at 20 mph",
+)
+def _build_vehicular(rng, start_x: float) -> Trajectory:
+    return VehicularDriveBy(
+        Vec3(start_x, 0.0),
+        heading_rad=0.0,
+        speed_mps=mph_to_mps(VEHICLE_SPEED_MPH),
+        rng=rng,
+    )
 
 
 def make_trajectory(
@@ -81,42 +154,19 @@ def make_trajectory(
     rng=None,
     start_x: Optional[float] = None,
 ) -> Trajectory:
-    """The mobility model for one of the paper's scenarios.
+    """The mobility model for a registered scenario.
 
     Default starting points put the mobile just short of the A/B
     handover boundary so a full soft-handover episode (search, track,
     trigger, random access) plays out within a couple of seconds —
     matching the regime Fig. 2c reports.
     """
-    if scenario == "walk":
-        x0 = 10.0 if start_x is None else start_x
-        return HumanWalk(
-            Vec3(x0, 0.0),
-            Vec3(WALK_SPEED_MPS, 0.0),
-            rng=rng,
-        )
-    if scenario == "rotation":
-        x0 = 14.0 if start_x is None else start_x
-        return DeviceRotation(
-            Vec3(x0, 0.0),
-            deg_per_s_to_rad_per_s(ROTATION_RATE_DEG_S),
-            start_heading=0.0,
-            rng=rng,
-        )
-    if scenario == "vehicular":
-        x0 = 7.0 if start_x is None else start_x
-        return VehicularDriveBy(
-            Vec3(x0, 0.0),
-            heading_rad=0.0,
-            speed_mps=mph_to_mps(VEHICLE_SPEED_MPH),
-            rng=rng,
-        )
-    raise ValueError(f"unknown scenario {scenario!r}; expected {SCENARIO_NAMES}")
+    return SCENARIOS.get(scenario).make_trajectory(rng=rng, start_x=start_x)
 
 
 def scenario_duration_s(scenario: str) -> float:
     """Long enough for one full handover episode in each scenario."""
-    return {"walk": 10.0, "rotation": 8.0, "vehicular": 4.0}[scenario]
+    return SCENARIOS.get(scenario).duration_s
 
 
 def build_cell_edge_deployment(
@@ -126,11 +176,15 @@ def build_cell_edge_deployment(
     config: Optional[DeploymentConfig] = None,
     n_cells: int = 3,
     start_x: Optional[float] = None,
+    bs_beamwidth_deg: Optional[float] = None,
 ) -> Tuple[Deployment, Mobile]:
     """The paper's testbed: one mobile, three 60 GHz base stations.
 
     Returns the (not yet started) deployment and the mobile.  The caller
-    attaches a protocol and runs the simulator.
+    attaches a protocol and runs the simulator — or lets
+    :class:`repro.api.Session` own that lifecycle.  ``bs_beamwidth_deg``
+    overrides the stations' codebook beamwidth (the bench suites use
+    10-degree beams for SSB-dense variants).
     """
     if not 2 <= n_cells <= len(STATION_POSITIONS):
         raise ValueError(
@@ -146,6 +200,7 @@ def build_cell_edge_deployment(
             trace_enabled=base.trace_enabled,
         )
     )
+    beamwidth = BS_BEAMWIDTH_DEG if bs_beamwidth_deg is None else bs_beamwidth_deg
     cell_ids = list(STATION_POSITIONS)[:n_cells]
     for cell_id in cell_ids:
         position = STATION_POSITIONS[cell_id]
@@ -155,7 +210,7 @@ def build_cell_edge_deployment(
                 # Base stations face the street (heading -y); with a full
                 # 360-degree codebook the heading only fixes beam indexing.
                 Pose(position, heading=-math.pi / 2.0),
-                Codebook.uniform_azimuth(BS_BEAMWIDTH_DEG, name=f"bs-{cell_id}"),
+                Codebook.uniform_azimuth(beamwidth, name=f"bs-{cell_id}"),
                 tx_power_dbm=BS_TX_POWER_DBM,
                 frame=base.frame,
                 ssb_phase_s=STATION_PHASES_S[cell_id],

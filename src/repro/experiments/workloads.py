@@ -13,14 +13,21 @@ Two uses:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.api import Session, TrialSpec
 from repro.campaign.aggregate import aggregate_workload
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec
-from repro.experiments.scenarios import SCENARIO_NAMES, build_cell_edge_deployment
+from repro.experiments.scenarios import SCENARIO_NAMES
 from repro.measure.report import RssMeasurement
+from repro.registry import UnknownNameError, register_experiment
+
+#: The receive-beam policies of the workload generator (its campaign
+#: ``protocols`` axis).
+RX_BEAM_POLICIES = ("best", "fixed")
 
 
 @dataclass(frozen=True)
@@ -51,44 +58,73 @@ def generate_rss_trace(
     (hold ``fixed_rx_beam`` throughout — shows how motion walks the
     signal out of a static beam, the dynamic the 3 dB rule reacts to).
     """
-    if rx_beam_policy not in ("best", "fixed"):
-        raise ValueError(
-            f"unknown policy {rx_beam_policy!r}; expected 'best' or 'fixed'"
-        )
-    deployment, mobile = build_cell_edge_deployment(seed, scenario=scenario)
-    station = deployment.station(cell_id)
-    trace: List[RssTracePoint] = []
-    steps = int(duration_s / period_s)
-    for k in range(steps):
-        t = k * period_s
-        if rx_beam_policy == "best":
-            rx_beam = mobile.best_rx_beam_towards(station, t)
-        else:
-            rx_beam = fixed_rx_beam
-        measurement = deployment.links.measure_burst(
-            station,
-            mobile.mobile_id,
-            mobile.pose_at(t),
-            mobile.rx_gain_fn(t),
-            rx_beam,
-            t,
-        )
-        trace.append(
-            RssTracePoint(
-                time_s=t,
-                rss_dbm=measurement.rss_dbm,
-                snr_db=measurement.snr_db,
-                tx_beam=measurement.tx_beam,
-                rx_beam=rx_beam,
-                distance_m=mobile.pose_at(t).distance_to(station.pose.position),
+    if rx_beam_policy not in RX_BEAM_POLICIES:
+        raise UnknownNameError("rx-beam policy", rx_beam_policy, RX_BEAM_POLICIES)
+    with Session(TrialSpec(scenario=scenario, seed=seed)) as session:
+        mobile = session.mobile
+        station = session.deployment.station(cell_id)
+        trace: List[RssTracePoint] = []
+        steps = int(duration_s / period_s)
+        for k in range(steps):
+            t = k * period_s
+            if rx_beam_policy == "best":
+                rx_beam = mobile.best_rx_beam_towards(station, t)
+            else:
+                rx_beam = fixed_rx_beam
+            measurement = session.deployment.links.measure_burst(
+                station,
+                mobile.mobile_id,
+                mobile.pose_at(t),
+                mobile.rx_gain_fn(t),
+                rx_beam,
+                t,
             )
-        )
+            trace.append(
+                RssTracePoint(
+                    time_s=t,
+                    rss_dbm=measurement.rss_dbm,
+                    snr_db=measurement.snr_db,
+                    tx_beam=measurement.tx_beam,
+                    rx_beam=rx_beam,
+                    distance_m=mobile.pose_at(t).distance_to(station.pose.position),
+                )
+            )
     return trace
+
+
+# ----------------------------------------------------------- experiment kind
+def _decode_workload(payload: dict) -> List[RssTracePoint]:
+    return [RssTracePoint(**point) for point in payload["points"]]
+
+
+@register_experiment(
+    "workload",
+    decode=_decode_workload,
+    axis="custom",
+    protocol_axis="rx-beam policy",
+    protocol_names=lambda: RX_BEAM_POLICIES,
+    default_protocols=RX_BEAM_POLICIES,
+    description="canned RSS traces (genie-pointed vs fixed receive beam)",
+)
+def _run_workload_cell(cell) -> dict:
+    trace = generate_rss_trace(
+        cell_id=str(cell.params.get("cell", "cellB")),
+        scenario=cell.scenario,
+        seed=cell.seed,
+        duration_s=float(cell.params.get("duration_s", 4.0)),
+        period_s=float(cell.params.get("period_s", 0.020)),
+        rx_beam_policy=cell.protocol,
+        fixed_rx_beam=int(cell.params.get("fixed_rx_beam", 0)),
+    )
+    return {
+        "points": [dataclasses.asdict(point) for point in trace],
+        "duty_cycle": detection_duty_cycle(trace),
+    }
 
 
 def workload_spec(
     scenarios: Sequence[str] = SCENARIO_NAMES,
-    policies: Sequence[str] = ("best", "fixed"),
+    policies: Sequence[str] = RX_BEAM_POLICIES,
     n_traces: int = 1,
     base_seed: int = 1,
     cell_id: str = "cellB",
@@ -116,7 +152,7 @@ def workload_spec(
 
 def run_workload_sweep(
     scenarios: Sequence[str] = SCENARIO_NAMES,
-    policies: Sequence[str] = ("best", "fixed"),
+    policies: Sequence[str] = RX_BEAM_POLICIES,
     n_traces: int = 1,
     base_seed: int = 1,
     cell_id: str = "cellB",

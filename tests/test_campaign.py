@@ -101,6 +101,14 @@ class TestSpecExpansion:
         with pytest.raises(SpecError):
             small_search_spec(overrides={})
 
+    def test_rejects_unknown_protocol_axis_value_at_construction(self):
+        # The protocols axis is validated per experiment kind against
+        # the registries — a typo fails here, not mid-campaign.
+        with pytest.raises(SpecError, match="known: narrow, omni, wide"):
+            small_search_spec(protocols=("narrow", "psychic"))
+        with pytest.raises(SpecError, match="oracle, reactive, silent-tracker"):
+            small_search_spec(experiment="comparison", protocols=("oracel",))
+
     def test_rejects_duplicate_axis_values(self):
         with pytest.raises(SpecError):
             small_search_spec(protocols=("narrow", "narrow"))
@@ -201,8 +209,25 @@ class TestRunCampaign:
         ]
         assert results["vehicular"]["trials"] == direct
 
-    def test_failed_cells_collected_not_fatal_to_others(self, tmp_path):
-        spec = small_search_spec(protocols=("narrow", "psychic"), seeds=1)
+    @pytest.fixture()
+    def exploding_codebook(self):
+        # Registered (so spec validation passes) but raising at trial
+        # time: the way a cell can still fail mid-run.
+        from repro.registry import CODEBOOKS
+
+        @CODEBOOKS.register("exploding")
+        def _exploding():
+            raise ValueError("exploding codebook")
+
+        yield "exploding"
+        CODEBOOKS.unregister("exploding")
+
+    def test_failed_cells_collected_not_fatal_to_others(
+        self, tmp_path, exploding_codebook
+    ):
+        spec = small_search_spec(
+            protocols=("narrow", exploding_codebook), seeds=1
+        )
         with pytest.raises(CampaignError) as excinfo:
             run_campaign(spec, out_dir=tmp_path / "camp")
         assert len(excinfo.value.failures) == 1
@@ -213,8 +238,8 @@ class TestRunCampaign:
         with pytest.raises(CampaignError):
             run_campaign(small_search_spec(), workers=0)
 
-    def test_failure_carries_traceback(self):
-        spec = small_search_spec(protocols=("psychic",), seeds=1)
+    def test_failure_carries_traceback(self, exploding_codebook):
+        spec = small_search_spec(protocols=(exploding_codebook,), seeds=1)
         with pytest.raises(CampaignError) as excinfo:
             run_campaign(spec)
         (trace,) = excinfo.value.failures.values()

@@ -70,3 +70,20 @@ class TestExamples:
         assert target.read_text().startswith(
             "# Silent Tracker reproduction report"
         )
+
+    def test_custom_plugin(self, capsys):
+        from repro.registry import PROTOCOLS, SCENARIOS
+
+        try:
+            load_example("custom_plugin").main()
+        finally:
+            # Keep the example's registrations from leaking into the
+            # rest of the suite.
+            if "sticky" in PROTOCOLS:
+                PROTOCOLS.unregister("sticky")
+            if "jog" in SCENARIOS:
+                SCENARIOS.unregister("jog")
+        output = capsys.readouterr().out
+        assert "plugin smoke OK" in output
+        assert "sticky" in output
+        assert "jog" in output
