@@ -22,7 +22,15 @@ Typical use::
 :func:`run_trial` goes one level higher: it executes any registered
 experiment kind for one grid point and returns a :class:`TrialResult`
 envelope — the common structure (axes + decoded per-experiment payload)
-shared by every kind.
+shared by every kind.  That includes the population-scale ``fleet``
+kind::
+
+    result = run_trial("fleet", scenario="walk", seed=2, arm="uniform",
+                       params={"n_users": 64})
+    result.payload.aggregates["summary"]["search_latency_s"]
+
+(:class:`Session` itself stays single-UE by design; multi-UE lifecycles
+are owned by :func:`repro.fleet.run_fleet_trial`.)
 
 Construction order inside :class:`Session` is identical to the code it
 replaced (deployment, then protocol, then ``protocol.start()``, then the

@@ -1,19 +1,43 @@
-"""Performance-benchmark harness: ``repro bench`` -> ``BENCH_phy.json``.
+"""Performance-benchmark harness: ``repro bench`` -> ``BENCH_*.json``.
 
 Records the wall-clock trajectory of the simulator's hot paths —
 micro-benchmarks of the vectorized phy primitives against their scalar
-references, and macro-benchmarks of burst-heavy end-to-end scenarios —
-so every PR can observe whether it moved the needle.  The harness is
-deliberately small: warmup + repeats per case, median/IQR summaries,
-one canonical JSON artifact.
+references, macro-benchmarks of burst-heavy end-to-end scenarios
+(``--suite phy`` -> ``BENCH_phy.json``), and the population-scale
+users-vs-wall-time scaling curve (``--suite fleet`` ->
+``BENCH_fleet.json``) — so every PR can observe whether it moved the
+needle.  ``repro bench --compare <baseline.json>`` diffs the current
+medians against a committed artifact and fails on regressions.  The
+harness is deliberately small: warmup + repeats per case, median/IQR
+summaries, one canonical JSON artifact per suite.
 """
 
-from repro.bench.harness import TimingResult, time_fn, write_bench_json
+from repro.bench.fleet_suite import run_fleet_bench
+from repro.bench.harness import (
+    BenchError,
+    CaseComparison,
+    TimingResult,
+    compare_payloads,
+    env_override,
+    incomparable_cases,
+    load_bench_json,
+    regressions,
+    time_fn,
+    write_bench_json,
+)
 from repro.bench.suites import run_bench
 
 __all__ = [
+    "BenchError",
+    "CaseComparison",
     "TimingResult",
+    "compare_payloads",
+    "env_override",
+    "incomparable_cases",
+    "load_bench_json",
+    "regressions",
     "run_bench",
+    "run_fleet_bench",
     "time_fn",
     "write_bench_json",
 ]

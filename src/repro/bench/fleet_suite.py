@@ -1,0 +1,195 @@
+"""The ``repro bench --suite fleet`` suite: users-vs-wall-time scaling.
+
+Runs the same short fleet (walkers spread across the street grid, full
+Silent Tracker protocols) at growing population sizes under three burst
+paths:
+
+* ``scalar`` — per-mobile delivery loop with the scalar per-dwell
+  reference (``REPRO_FLEET_PATH=scalar`` + ``REPRO_BURST_PATH=scalar``):
+  the fully scalar path population size multiplies linearly.
+* ``permobile`` — per-mobile delivery with the PR 2 per-link vectorized
+  burst evaluation (``REPRO_FLEET_PATH=scalar``).
+* ``batch`` — the cross-user batched grid path (the fleet default).
+
+The artifact (``BENCH_fleet.json``) records the full scaling curve per
+path plus derived speedups at each population size; the acceptance
+target is the batch path beating the scalar path >= 3x at 64 users.
+The determinism contract is proven on real artifacts too: one fleet
+spec is run per delivery path and the canonical JSON results are
+byte-compared (``artifacts_identical``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import platform
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import (
+    TimingResult,
+    env_override,
+    results_payload,
+    speedup,
+    time_fn,
+    write_bench_json,
+)
+
+#: Artifact schema version.
+BENCH_FORMAT = 1
+
+#: Default artifact filename.
+BENCH_FILENAME = "BENCH_fleet.json"
+
+#: Population sizes of the scaling curve.  64 is the acceptance point of
+#: the committed full-mode artifact; quick mode (CI smoke) drops it so
+#: the fully scalar 64-user reference is not timed on every push.
+USER_COUNTS = (4, 16, 64)
+USER_COUNTS_QUICK = (4, 16)
+
+
+@contextlib.contextmanager
+def fleet_path(mode: str):
+    """Force the burst-delivery path for deployments built inside.
+
+    ``scalar`` also implies nothing about the per-dwell path — combine
+    with :func:`repro.bench.suites.burst_path` for the fully scalar
+    reference.
+    """
+    if mode not in ("scalar", "batch"):
+        raise ValueError(f"unknown fleet path {mode!r}")
+    with env_override("REPRO_FLEET_PATH", mode):
+        yield
+
+
+def _bench_spec(n_users: int, duration_s: float):
+    """The scaling-curve fleet: walkers spread over the street grid."""
+    from repro.fleet import FleetSpec, UserProfile
+
+    return FleetSpec(
+        name=f"bench-{n_users}",
+        n_users=n_users,
+        profiles=(
+            UserProfile("walkers", scenario="walk", start_jitter_s=0.25),
+        ),
+        seed=1,
+        duration_s=duration_s,
+    )
+
+
+def _run_fleet(n_users: int, duration_s: float) -> None:
+    from repro.fleet import run_fleet_trial
+
+    run_fleet_trial(_bench_spec(n_users, duration_s))
+
+
+def _bench_scaling(
+    results: List[TimingResult],
+    repeats: int,
+    warmup: int,
+    user_counts,
+    duration_s: float,
+) -> None:
+    from repro.bench.suites import burst_path
+
+    for n_users in user_counts:
+        meta = {"n_users": n_users, "duration_s": duration_s, "cells": 3}
+        with fleet_path("scalar"), burst_path("scalar"):
+            results.append(
+                time_fn(
+                    f"fleet.run.u{n_users}.scalar",
+                    lambda n=n_users: _run_fleet(n, duration_s),
+                    repeats,
+                    warmup,
+                    meta,
+                )
+            )
+        with fleet_path("scalar"), burst_path("vectorized"):
+            results.append(
+                time_fn(
+                    f"fleet.run.u{n_users}.permobile",
+                    lambda n=n_users: _run_fleet(n, duration_s),
+                    repeats,
+                    warmup,
+                    meta,
+                )
+            )
+        with fleet_path("batch"), burst_path("vectorized"):
+            results.append(
+                time_fn(
+                    f"fleet.run.u{n_users}.batch",
+                    lambda n=n_users: _run_fleet(n, duration_s),
+                    repeats,
+                    warmup,
+                    meta,
+                )
+            )
+
+
+def _check_artifact_identity(n_users: int, duration_s: float) -> bool:
+    """Run one fleet per delivery path; byte-compare canonical artifacts."""
+    from repro.campaign.spec import canonical_json
+    from repro.fleet import run_fleet_trial
+
+    spec = _bench_spec(n_users, duration_s)
+    payloads = []
+    for mode in ("scalar", "batch"):
+        with fleet_path(mode):
+            payloads.append(canonical_json(run_fleet_trial(spec).to_dict()))
+    return payloads[0] == payloads[1]
+
+
+def run_fleet_bench(
+    quick: bool = False,
+    out_path: Optional[str] = None,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the fleet suite; write ``BENCH_fleet.json`` when requested.
+
+    The ``derived`` section carries, per population size, the speedup of
+    the batch path over the fully scalar path (``speedup_vs_scalar``)
+    and over the per-mobile vectorized loop (``speedup_vs_permobile``),
+    plus the wall-seconds-per-user scaling curve of each path.
+    """
+    n_repeats = repeats if repeats is not None else (2 if quick else 3)
+    n_warmup = warmup if warmup is not None else (0 if quick else 1)
+    duration_s = 0.5 if quick else 1.0
+    user_counts = USER_COUNTS_QUICK if quick else USER_COUNTS
+    results: List[TimingResult] = []
+    _bench_scaling(results, n_repeats, n_warmup, user_counts, duration_s)
+    by_name = {result.name: result for result in results}
+    scaling: Dict[str, Dict[str, float]] = {"scalar": {}, "permobile": {}, "batch": {}}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for n_users in user_counts:
+        scalar = by_name[f"fleet.run.u{n_users}.scalar"]
+        permobile = by_name[f"fleet.run.u{n_users}.permobile"]
+        batch = by_name[f"fleet.run.u{n_users}.batch"]
+        scaling["scalar"][str(n_users)] = scalar.median_s
+        scaling["permobile"][str(n_users)] = permobile.median_s
+        scaling["batch"][str(n_users)] = batch.median_s
+        speedups[str(n_users)] = {
+            "speedup_vs_scalar": speedup(scalar, batch),
+            "speedup_vs_permobile": speedup(permobile, batch),
+        }
+    payload: Dict[str, object] = {
+        "format": BENCH_FORMAT,
+        "suite": "fleet",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "results": results_payload(results),
+        "derived": {
+            "scaling_median_s": scaling,
+            "speedups": speedups,
+            "artifacts_identical": _check_artifact_identity(
+                n_users=8, duration_s=0.5 if quick else 1.0
+            ),
+        },
+    }
+    if out_path is not None:
+        write_bench_json(payload, out_path)
+    return payload

@@ -10,12 +10,14 @@ without re-running.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import math
 import os
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.util.numerics import quantile
 
@@ -78,6 +80,25 @@ def time_fn(
     )
 
 
+@contextlib.contextmanager
+def env_override(name: str, value: str):
+    """Temporarily set environment variable ``name`` to ``value``.
+
+    Restores the previous value (or unsets the variable) on exit — the
+    one save/set/restore implementation behind the suite path overrides
+    (``REPRO_BURST_PATH``, ``REPRO_FLEET_PATH``).
+    """
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous
+
+
 def speedup(baseline: TimingResult, candidate: TimingResult) -> float:
     """Median-over-median speedup of ``candidate`` versus ``baseline``."""
     if candidate.median_s <= 0.0:
@@ -102,3 +123,127 @@ def write_bench_json(
 def results_payload(results: List[TimingResult]) -> List[Dict[str, object]]:
     """Serializable form of a result list (artifact ``results`` section)."""
     return [asdict(result) for result in results]
+
+
+# ------------------------------------------------------------------ compare
+class BenchError(Exception):
+    """Malformed bench artifact or invalid comparison input."""
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """Median diff of one case against a committed baseline artifact."""
+
+    name: str
+    baseline_median_s: float
+    current_median_s: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline; > 1 means the case got slower."""
+        if self.baseline_median_s <= 0.0:
+            return math.inf
+        return self.current_median_s / self.baseline_median_s
+
+    def regressed(self, tolerance: float) -> bool:
+        """Whether the case slowed beyond ``tolerance`` (0.2 = +20%)."""
+        return self.ratio > 1.0 + tolerance
+
+
+def load_bench_json(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a bench artifact written by :func:`write_bench_json`.
+
+    Validates the result records on the way in (:class:`BenchError` on
+    a malformed artifact), so a gating run fails before the suite has
+    spent minutes benchmarking against an unusable baseline.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    _case_records(payload, str(path))
+    return payload
+
+
+def _case_records(payload: Dict[str, object], label: str) -> List[Dict[str, object]]:
+    """The validated ``results`` records of a bench payload.
+
+    Raises :class:`BenchError` — an operational error, not a traceback —
+    when the artifact is not a results payload or a record lacks the
+    fields the regression gate consumes.
+    """
+    results = payload.get("results") if isinstance(payload, dict) else None
+    if not isinstance(results, list):
+        raise BenchError(f"{label} bench artifact has no 'results' list")
+    for record in results:
+        if (
+            not isinstance(record, dict)
+            or "name" not in record
+            or "median_s" not in record
+        ):
+            raise BenchError(
+                f"{label} bench artifact has a malformed result record "
+                f"(need name/median_s): {record!r}"
+            )
+    return results
+
+
+def _match_cases(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> Tuple[List[CaseComparison], List[str]]:
+    """One scan matching current cases against the baseline.
+
+    Returns ``(comparisons, incomparable)``: cases present in both with
+    identical ``meta`` become comparisons; cases present in both whose
+    meta differs are incomparable (their names are returned); cases
+    present in only one payload are ignored.
+    """
+    baseline_records = {r["name"]: r for r in _case_records(baseline, "baseline")}
+    comparisons: List[CaseComparison] = []
+    incomparable: List[str] = []
+    for record in _case_records(current, "current"):
+        name = record["name"]
+        base = baseline_records.get(name)
+        if base is None:
+            continue
+        if base.get("meta") != record.get("meta"):
+            incomparable.append(name)
+            continue
+        comparisons.append(
+            CaseComparison(
+                name=name,
+                baseline_median_s=float(base["median_s"]),
+                current_median_s=float(record["median_s"]),
+            )
+        )
+    return comparisons, incomparable
+
+
+def compare_payloads(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> List[CaseComparison]:
+    """Median-vs-median comparison of two bench payloads, by case name.
+
+    Only cases present in both artifacts are compared (a new case has no
+    baseline; a retired one no current), so growing a suite never breaks
+    the regression gate.  Cases whose recorded ``meta`` (workload
+    parameters — burst counts, durations, population sizes) differs are
+    also skipped: timing a quick-mode run against a full-mode baseline
+    would confound workload size with performance and wave real
+    regressions through.  :func:`incomparable_cases` names the skipped
+    ones so callers can surface them.
+    """
+    return _match_cases(current, baseline)[0]
+
+
+def incomparable_cases(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Names of cases present in both payloads but with differing meta."""
+    return _match_cases(current, baseline)[1]
+
+
+def regressions(
+    comparisons: List[CaseComparison], tolerance: float = 0.20
+) -> List[CaseComparison]:
+    """The comparisons that slowed beyond ``tolerance``."""
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance!r}")
+    return [c for c in comparisons if c.regressed(tolerance)]

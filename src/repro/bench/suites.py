@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import contextlib
 import math
-import os
 import platform
 import sys
 import tempfile
@@ -33,6 +32,7 @@ import numpy as np
 
 from repro.bench.harness import (
     TimingResult,
+    env_override,
     results_payload,
     speedup,
     time_fn,
@@ -51,15 +51,8 @@ def burst_path(mode: str):
     """Force the LinkEngine burst path for deployments built inside."""
     if mode not in ("scalar", "vectorized"):
         raise ValueError(f"unknown burst path {mode!r}")
-    previous = os.environ.get("REPRO_BURST_PATH")
-    os.environ["REPRO_BURST_PATH"] = mode
-    try:
+    with env_override("REPRO_BURST_PATH", mode):
         yield
-    finally:
-        if previous is None:
-            os.environ.pop("REPRO_BURST_PATH", None)
-        else:
-            os.environ["REPRO_BURST_PATH"] = previous
 
 
 class _SweepListener:

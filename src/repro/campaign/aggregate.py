@@ -193,6 +193,33 @@ def summarize_campaign(
                     else "-",
                 ]
             )
+    elif spec.experiment == "fleet":
+        headers += [
+            "users",
+            "handovers",
+            "p50 search (s)",
+            "p90 outage frac",
+        ]
+        for (scenario, protocol, label), trials in arms.items():
+            totals = [t.aggregates["totals"] for t in trials]
+            searches = [
+                x for t in trials for u in t.users for x in u.search_latencies_s
+            ]
+            outages = [u.outage_fraction for t in trials for u in t.users]
+            search_summary = summarize(searches)
+            outage_summary = summarize(outages)
+            rows.append(
+                [
+                    scenario,
+                    protocol,
+                    label,
+                    len(trials),
+                    sum(t["users"] for t in totals),
+                    sum(t["handovers_completed"] for t in totals),
+                    search_summary.get("p50", "-"),
+                    outage_summary.get("p90", "-"),
+                ]
+            )
     elif spec.experiment == "workload":
         headers += ["mean duty cycle", "points"]
         from repro.experiments.workloads import detection_duty_cycle

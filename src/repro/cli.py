@@ -12,8 +12,13 @@ Commands
                 codebooks, experiments), ``--json`` for machines.
 ``campaign``    parallel experiment campaigns with persistent
                 artifacts: ``run`` / ``resume`` / ``summarize``.
-``bench``       PHY performance benchmarks (scalar vs vectorized burst
-                path), written to ``BENCH_phy.json``.
+``fleet``       population-scale multi-UE runs: ``run`` / ``summarize``
+                (fleet CDFs over N users, canonical JSON artifacts).
+``bench``       performance benchmarks: ``--suite phy`` (scalar vs
+                vectorized burst path -> ``BENCH_phy.json``) or
+                ``--suite fleet`` (users-vs-wall-time scaling ->
+                ``BENCH_fleet.json``); ``--compare`` gates medians
+                against a committed baseline.
 
 Unknown protocol / scenario / codebook / experiment names exit with
 status 2 and a message listing the registered choices.
@@ -28,6 +33,7 @@ from typing import List, Optional
 
 from repro.analysis.stats import empirical_cdf, summarize
 from repro.analysis.tables import format_cdf_series, format_table
+from repro.bench.harness import BenchError
 from repro.campaign.runner import CampaignError
 from repro.campaign.spec import SpecError
 from repro.campaign.store import StoreError
@@ -341,11 +347,67 @@ def _cmd_campaign_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench
+#: Default artifact path per bench suite.
+_BENCH_DEFAULT_OUT = {"phy": "BENCH_phy.json", "fleet": "BENCH_fleet.json"}
 
-    payload = run_bench(
-        quick=args.quick, out_path=args.out or None, repeats=args.repeats
+
+def _print_bench_compare(comparisons, regressed, tolerance: float) -> None:
+    rows = [
+        [
+            c.name,
+            1000.0 * c.baseline_median_s,
+            1000.0 * c.current_median_s,
+            f"{c.ratio:.2f}x",
+        ]
+        for c in comparisons
+    ]
+    print(
+        format_table(
+            ["case", "baseline (ms)", "current (ms)", "ratio"],
+            rows,
+            title=f"baseline comparison (tolerance +{100.0 * tolerance:.0f}%)",
+        )
+    )
+    if regressed:
+        names = ", ".join(c.name for c in regressed)
+        print(f"REGRESSION: {len(regressed)} case(s) slowed beyond "
+              f"tolerance: {names}", file=sys.stderr)
+    else:
+        print("no regressions against baseline")
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_payloads,
+        incomparable_cases,
+        load_bench_json,
+        regressions,
+        run_bench,
+        run_fleet_bench,
+    )
+
+    if args.compare_tolerance < 0.0:
+        # Validate before the (multi-minute) suite runs, not after.
+        print(
+            f"error: --compare-tolerance must be non-negative, "
+            f"got {args.compare_tolerance}",
+            file=sys.stderr,
+        )
+        return 2
+    runner = run_fleet_bench if args.suite == "fleet" else run_bench
+    if args.out is None:
+        # A gating run (--compare) without an explicit --out would
+        # resolve to the committed baseline file and silently overwrite
+        # the artifact it gates against — write nothing instead.
+        out = None if args.compare else _BENCH_DEFAULT_OUT[args.suite]
+    else:
+        out = args.out
+    # Snapshot the baseline before the run: an explicit --out may still
+    # point at the baseline file, and loading it after the run wrote
+    # there would compare the run against itself.
+    baseline = load_bench_json(args.compare) if args.compare else None
+    payload = runner(
+        quick=args.quick, out_path=out or None, repeats=args.repeats
     )
     rows = []
     for result in payload["results"]:
@@ -361,18 +423,140 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         format_table(
             ["case", "median (ms)", "IQR (ms)", "repeats"],
             rows,
-            title=f"PHY bench ({'quick' if args.quick else 'full'})",
+            title=f"{args.suite} bench ({'quick' if args.quick else 'full'})",
         )
     )
     derived = payload["derived"]
     for pair, factor in derived["speedups"].items():
-        print(f"speedup {pair}: {factor:.2f}x")
+        if isinstance(factor, dict):
+            detail = ", ".join(f"{k} {v:.2f}x" for k, v in factor.items())
+            print(f"speedup @{pair} users: {detail}")
+        else:
+            print(f"speedup {pair}: {factor:.2f}x")
     print(f"artifacts identical across paths: {derived['artifacts_identical']}")
+    if out:
+        print(f"wrote {out}")
+    status = 0 if derived["artifacts_identical"] else 1
+    if baseline is not None:
+        comparisons = compare_payloads(payload, baseline)
+        skipped = incomparable_cases(payload, baseline)
+        if skipped:
+            print(
+                f"note: {len(skipped)} case(s) skipped — workload meta "
+                f"differs from baseline (quick vs full?): "
+                f"{', '.join(skipped)}",
+                file=sys.stderr,
+            )
+        if not comparisons:
+            print(
+                "error: no comparable cases against baseline "
+                f"{args.compare!r} — regression gate would be vacuous",
+                file=sys.stderr,
+            )
+            return 2
+        regressed = regressions(comparisons, args.compare_tolerance)
+        _print_bench_compare(comparisons, regressed, args.compare_tolerance)
+        if regressed:
+            status = status or 1
+    # Absolute timings stay informational; the command fails only on
+    # harness errors, a broken determinism contract, or a baseline
+    # regression beyond the tolerance.
+    return status
+
+
+def _print_fleet_summary(result, source: Optional[str] = None) -> None:
+    """The ``repro fleet`` summary tables for one fleet result."""
+    fleet = result.fleet
+    totals = result.aggregates["totals"]
+    summary = result.aggregates["summary"]
+    title = (
+        f"fleet {fleet.get('name', '?')!r} ({totals['users']} users, "
+        f"{fleet.get('duration_s', '?')} s, seed {fleet.get('seed', '?')})"
+    )
+    if source:
+        title += f" [{source}]"
+    rows = []
+    for label, key in (
+        ("search latency (s)", "search_latency_s"),
+        ("handover completion (s)", "completion_time_s"),
+        ("handover rate (/min/user)", "handover_rate_per_min"),
+        ("ping-pong rate (/min/user)", "ping_pong_rate_per_min"),
+        ("outage fraction", "outage_fraction"),
+    ):
+        stats = summary[key]
+        rows.append(
+            [
+                label,
+                stats.get("count", 0),
+                stats.get("mean", "-"),
+                stats.get("p50", "-"),
+                stats.get("p90", "-"),
+            ]
+        )
+    print(format_table(["metric", "n", "mean", "p50", "p90"], rows, title=title))
+    print(
+        f"totals: {totals['bursts_measured']} bursts measured, "
+        f"{totals['handovers_completed']} handovers "
+        f"({totals['soft_handovers']} soft / {totals['hard_handovers']} hard / "
+        f"{totals['handovers_failed']} failed), "
+        f"{totals['ping_pongs']} ping-pongs"
+    )
+
+
+def _print_fleet_cdfs(result) -> None:
+    from repro.analysis.plotting import ascii_cdf_plot
+
+    for label, key in (
+        ("search latency (s)", "search_latency_s"),
+        ("completion time (s)", "completion_time_s"),
+        ("outage fraction", "outage_fraction"),
+    ):
+        series = result.aggregates["cdf"].get(key)
+        if not series:
+            continue
+        print()
+        print(ascii_cdf_plot({label: series["xs"]}, x_label=label))
+
+
+def _fleet_spec_from_args(args: argparse.Namespace):
+    from repro.fleet import load_spec
+    from repro.fleet.experiment import fleet_spec_for_cell
+
+    if args.spec:
+        return load_spec(args.spec)
+    spec = fleet_spec_for_cell(
+        args.mix,
+        scenario=args.scenario,
+        seed=args.seed,
+        n_users=args.users,
+        duration_s=args.duration,
+        name=args.name,
+    )
+    return spec
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet_trial, write_fleet_artifact
+
+    spec = _fleet_spec_from_args(args)
+    result = run_fleet_trial(spec)
+    _print_fleet_summary(result)
+    if args.cdf:
+        _print_fleet_cdfs(result)
     if args.out:
-        print(f"wrote {args.out}")
-    # Timings are informational; the command only fails on harness
-    # errors or a broken determinism contract.
-    return 0 if derived["artifacts_identical"] else 1
+        path = write_fleet_artifact(result, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_fleet_summarize(args: argparse.Namespace) -> int:
+    from repro.fleet import load_fleet_artifact
+
+    result = load_fleet_artifact(args.artifact)
+    _print_fleet_summary(result, source=args.artifact)
+    if args.cdf:
+        _print_fleet_cdfs(result)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -492,15 +676,61 @@ def build_parser() -> argparse.ArgumentParser:
                                     "manifest")
     summarize_cmd.set_defaults(func=_cmd_campaign_summarize)
 
-    bench = sub.add_parser(
-        "bench", help="PHY performance benchmarks -> BENCH_phy.json"
+    fleet = sub.add_parser(
+        "fleet",
+        help="population-scale multi-UE runs (fleet CDFs over N users)",
     )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser("run", help="run one fleet")
+    fleet_run.add_argument("--spec", default=None,
+                           help="FleetSpec JSON file (overrides the flags)")
+    fleet_run.add_argument("--name", default="fleet")
+    fleet_run.add_argument("--users", type=int, default=16,
+                           help="population size")
+    fleet_run.add_argument("--scenario", default="walk",
+                           help="base mobility scenario "
+                                "(see `repro list scenarios`)")
+    fleet_run.add_argument("--mix", default="uniform",
+                           help="profile mix: uniform, mobility-blend, "
+                                "codebook-split")
+    fleet_run.add_argument("--duration", type=float, default=4.0,
+                           help="simulated seconds")
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument("--out", default=None,
+                           help="write the canonical JSON artifact here")
+    fleet_run.add_argument("--cdf", action="store_true",
+                           help="print the fleet CDF plots too")
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    fleet_sum = fleet_sub.add_parser(
+        "summarize", help="summarize a fleet artifact"
+    )
+    fleet_sum.add_argument("--artifact", required=True,
+                           help="fleet JSON written by `repro fleet run --out`")
+    fleet_sum.add_argument("--cdf", action="store_true",
+                           help="print the fleet CDF plots too")
+    fleet_sum.set_defaults(func=_cmd_fleet_summarize)
+
+    bench = sub.add_parser(
+        "bench", help="performance benchmarks -> BENCH_<suite>.json"
+    )
+    bench.add_argument("--suite", default="phy", choices=("phy", "fleet"),
+                       help="phy: burst-path micro/macro cases; "
+                            "fleet: users-vs-wall-time scaling")
     bench.add_argument("--quick", action="store_true",
                        help="trimmed repeats/workloads for CI smoke runs")
-    bench.add_argument("--out", default="BENCH_phy.json",
-                       help="artifact path (use '' to skip writing)")
+    bench.add_argument("--out", default=None,
+                       help="artifact path (default BENCH_<suite>.json; "
+                            "use '' to skip writing)")
     bench.add_argument("--repeats", type=int, default=None,
                        help="override samples per case")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff medians against a committed bench JSON "
+                            "and exit non-zero on regression")
+    bench.add_argument("--compare-tolerance", type=float, default=0.20,
+                       help="allowed median slowdown before a case counts "
+                            "as regressed (0.20 = +20%%)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 
@@ -510,10 +740,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (CampaignError, RegistryError, SpecError, StoreError) as error:
+    except (
+        BenchError,
+        CampaignError,
+        RegistryError,
+        SpecError,
+        StoreError,
+        OSError,
+        json.JSONDecodeError,
+    ) as error:
         # Operational errors (unknown registry name, bad spec, wrong
-        # directory, failed cells) are user-facing: a message listing
-        # the valid choices beats a traceback.
+        # directory, failed cells, missing or malformed input files)
+        # are user-facing: a message listing the valid choices beats a
+        # traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -45,15 +45,23 @@ class PingPongTrialResult:
     mean_interruption_s: float
 
 
-def _count_ping_pongs(records) -> int:
+def count_ping_pongs(records) -> int:
     """A ping-pong = a completed handover straight back to the cell the
-    previous completed handover came from."""
+    previous completed handover came from.
+
+    Shared metric definition: the ABL-PP ablation and the fleet
+    population metrics count churn identically.
+    """
     completed = [r for r in records if r.complete_s is not None]
     count = 0
     for previous, current in zip(completed, completed[1:]):
         if current.target_cell == previous.source_cell:
             count += 1
     return count
+
+
+#: Back-compat alias (pre-fleet internal name).
+_count_ping_pongs = count_ping_pongs
 
 
 def _run_loiter_trial(

@@ -169,22 +169,17 @@ def scenario_duration_s(scenario: str) -> float:
     return SCENARIOS.get(scenario).duration_s
 
 
-def build_cell_edge_deployment(
+def build_street_grid_deployment(
     seed: int,
-    mobile_codebook: str = "narrow",
-    scenario: str = "walk",
     config: Optional[DeploymentConfig] = None,
     n_cells: int = 3,
-    start_x: Optional[float] = None,
     bs_beamwidth_deg: Optional[float] = None,
-) -> Tuple[Deployment, Mobile]:
-    """The paper's testbed: one mobile, three 60 GHz base stations.
+) -> Deployment:
+    """The paper's street grid of 60 GHz base stations, no mobiles yet.
 
-    Returns the (not yet started) deployment and the mobile.  The caller
-    attaches a protocol and runs the simulator — or lets
-    :class:`repro.api.Session` own that lifecycle.  ``bs_beamwidth_deg``
-    overrides the stations' codebook beamwidth (the bench suites use
-    10-degree beams for SSB-dense variants).
+    The shared substrate of the single-UE cell-edge testbed and the
+    population-scale :mod:`repro.fleet` runs: stations, phases and power
+    are identical, only the attached population differs.
     """
     if not 2 <= n_cells <= len(STATION_POSITIONS):
         raise ValueError(
@@ -216,6 +211,29 @@ def build_cell_edge_deployment(
                 ssb_phase_s=STATION_PHASES_S[cell_id],
             )
         )
+    return deployment
+
+
+def build_cell_edge_deployment(
+    seed: int,
+    mobile_codebook: str = "narrow",
+    scenario: str = "walk",
+    config: Optional[DeploymentConfig] = None,
+    n_cells: int = 3,
+    start_x: Optional[float] = None,
+    bs_beamwidth_deg: Optional[float] = None,
+) -> Tuple[Deployment, Mobile]:
+    """The paper's testbed: one mobile, three 60 GHz base stations.
+
+    Returns the (not yet started) deployment and the mobile.  The caller
+    attaches a protocol and runs the simulator — or lets
+    :class:`repro.api.Session` own that lifecycle.  ``bs_beamwidth_deg``
+    overrides the stations' codebook beamwidth (the bench suites use
+    10-degree beams for SSB-dense variants).
+    """
+    deployment = build_street_grid_deployment(
+        seed, config=config, n_cells=n_cells, bs_beamwidth_deg=bs_beamwidth_deg
+    )
     trajectory = make_trajectory(
         scenario, rng=deployment.rng.stream("mobility"), start_x=start_x
     )

@@ -1,0 +1,199 @@
+"""The ``fleet`` campaign experiment kind and its built-in profile mixes.
+
+A fleet campaign cell is ``(scenario, mix, overrides, seed)``: the
+*mix* arm names a population composition — a function from the cell's
+scenario to weighted :class:`~repro.fleet.spec.UserProfile` arms — so
+both campaign axes stay meaningful: the scenario axis picks the base
+mobility model, the mix arm picks how the population is blended around
+it.
+
+Built-in mixes:
+
+``uniform``
+    Every user runs the cell's scenario with the paper-default narrow
+    codebook.
+``mobility-blend``
+    60% base scenario, 25% rotating devices, 15% vehicular drive-bys.
+``codebook-split``
+    The base scenario with a 70/30 narrow/wide receive-codebook split.
+
+Custom mixes register through :func:`register_fleet_mix` and are
+immediately valid campaign arms (``protocol_names`` is a live view).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.campaign.spec import SpecError
+from repro.fleet.runner import FleetTrialResult, run_fleet_trial
+from repro.fleet.spec import FleetSpec, UserProfile
+from repro.registry import register_experiment
+
+#: Default knobs of a fleet campaign cell (override via spec ``params``).
+DEFAULT_N_USERS = 16
+DEFAULT_DURATION_S = 4.0
+DEFAULT_START_JITTER_S = 0.5
+
+#: Registered profile mixes: name -> builder ``(scenario, overrides) ->
+#: tuple of UserProfile``.
+FLEET_MIXES: Dict[str, Callable[..., Tuple[UserProfile, ...]]] = {}
+
+
+def register_fleet_mix(name: str):
+    """Register a fleet profile mix: ``@register_fleet_mix("rush-hour")``.
+
+    The decorated builder receives ``(scenario, overrides)`` and returns
+    the weighted profile tuple for one campaign cell.
+    """
+
+    def decorator(build):
+        if name in FLEET_MIXES:
+            raise SpecError(f"fleet mix {name!r} is already registered")
+        FLEET_MIXES[name] = build
+        return build
+
+    return decorator
+
+
+def mix_names() -> Tuple[str, ...]:
+    """Currently registered mix names (live; the experiment's arm axis)."""
+    return tuple(FLEET_MIXES)
+
+
+@register_fleet_mix("uniform")
+def _uniform_mix(scenario: str, overrides) -> Tuple[UserProfile, ...]:
+    return (
+        UserProfile(
+            name="uniform",
+            scenario=scenario,
+            start_jitter_s=DEFAULT_START_JITTER_S,
+            overrides=overrides,
+        ),
+    )
+
+
+@register_fleet_mix("mobility-blend")
+def _mobility_blend_mix(scenario: str, overrides) -> Tuple[UserProfile, ...]:
+    return (
+        UserProfile(
+            name="base",
+            weight=0.60,
+            scenario=scenario,
+            start_jitter_s=DEFAULT_START_JITTER_S,
+            overrides=overrides,
+        ),
+        UserProfile(
+            name="rotating",
+            weight=0.25,
+            scenario="rotation",
+            start_jitter_s=DEFAULT_START_JITTER_S,
+            overrides=overrides,
+        ),
+        UserProfile(
+            name="vehicular",
+            weight=0.15,
+            scenario="vehicular",
+            start_jitter_s=DEFAULT_START_JITTER_S,
+            overrides=overrides,
+        ),
+    )
+
+
+@register_fleet_mix("codebook-split")
+def _codebook_split_mix(scenario: str, overrides) -> Tuple[UserProfile, ...]:
+    return (
+        UserProfile(
+            name="narrow",
+            weight=0.70,
+            scenario=scenario,
+            codebook="narrow",
+            start_jitter_s=DEFAULT_START_JITTER_S,
+            overrides=overrides,
+        ),
+        UserProfile(
+            name="wide",
+            weight=0.30,
+            scenario=scenario,
+            codebook="wide",
+            start_jitter_s=DEFAULT_START_JITTER_S,
+            overrides=overrides,
+        ),
+    )
+
+
+def fleet_spec_for_cell(
+    mix: str,
+    scenario: str,
+    seed: int,
+    n_users: int = DEFAULT_N_USERS,
+    duration_s: float = DEFAULT_DURATION_S,
+    overrides=None,
+    name: str = "fleet-cell",
+) -> FleetSpec:
+    """The :class:`FleetSpec` a campaign cell expands to."""
+    try:
+        build = FLEET_MIXES[mix]
+    except KeyError:
+        raise SpecError(
+            f"unknown fleet mix {mix!r}; known: {', '.join(sorted(FLEET_MIXES))}"
+        ) from None
+    return FleetSpec(
+        name=name,
+        n_users=n_users,
+        profiles=build(scenario, dict(overrides or {})),
+        seed=seed,
+        duration_s=duration_s,
+    )
+
+
+# ----------------------------------------------------------- experiment kind
+def _decode_fleet(payload: dict) -> FleetTrialResult:
+    return FleetTrialResult.from_dict(payload)
+
+
+@register_experiment(
+    "fleet",
+    decode=_decode_fleet,
+    axis="custom",
+    protocol_axis="profile mix",
+    protocol_names=mix_names,
+    default_protocols=("uniform", "mobility-blend", "codebook-split"),
+    description="population-scale multi-UE run (fleet CDFs over N users)",
+    duration_param="duration_s",
+    accepts_config=True,
+)
+def _run_fleet_cell(cell) -> dict:
+    spec = fleet_spec_for_cell(
+        cell.protocol,
+        scenario=cell.scenario,
+        seed=cell.seed,
+        n_users=int(cell.params.get("n_users", DEFAULT_N_USERS)),
+        duration_s=float(cell.params.get("duration_s", DEFAULT_DURATION_S)),
+        overrides=cell.overrides,
+        name=f"fleet-{cell.scenario}-{cell.protocol}",
+    )
+    return run_fleet_trial(spec).to_dict()
+
+
+def fleet_campaign_spec(
+    n_users: int = DEFAULT_N_USERS,
+    scenarios: Tuple[str, ...] = ("walk",),
+    mixes: Tuple[str, ...] = ("uniform", "mobility-blend"),
+    seeds: int = 4,
+    base_seed: int = 0,
+    duration_s: float = DEFAULT_DURATION_S,
+    name: str = "fleet",
+):
+    """A fleet sweep as a campaign grid (scenario x mix x seed)."""
+    from repro.campaign.spec import CampaignSpec
+
+    return CampaignSpec(
+        name=name,
+        experiment="fleet",
+        scenarios=tuple(scenarios),
+        protocols=tuple(mixes),
+        seeds=seeds,
+        base_seed=base_seed,
+        params={"n_users": n_users, "duration_s": duration_s},
+    )

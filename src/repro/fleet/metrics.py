@@ -1,0 +1,171 @@
+"""Population metrics: per-user event logs -> fleet-level distributions.
+
+Single-UE experiments report one trial's numbers; a fleet reports the
+*distribution* of those numbers over a user population — the regime
+where systems behavior emerges.  :func:`user_result` compresses one
+user's run (protocol handover log, search timelines, burst counters)
+into a JSON-safe :class:`FleetUserResult`; :func:`aggregate_users`
+folds a population of them into summary statistics and empirical CDFs
+via :mod:`repro.analysis.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.stats import empirical_cdf, summarize
+from repro.fleet.spec import UserSpec
+
+
+@dataclass(frozen=True)
+class FleetUserResult:
+    """One user's per-run event summary.
+
+    ``search_latencies_s`` are beam-search acquisition latencies (edge B
+    to neighbor-found) of every search episode the user's protocol
+    completed; ``completion_times_s`` are trigger-to-completion handover
+    latencies; ``outage_s`` is the summed data-plane interruption.
+    """
+
+    user_id: str
+    profile: str
+    scenario: str
+    codebook: str
+    protocol: str
+    seed: int
+    start_x: float
+    start_offset_s: float
+    serving_cell_initial: str
+    serving_cell_final: Optional[str]
+    bursts_measured: int
+    bursts_skipped_busy: int
+    bursts_declined: int
+    searches_started: int
+    search_latencies_s: List[float] = field(default_factory=list)
+    handovers_completed: int = 0
+    handovers_failed: int = 0
+    soft_handovers: int = 0
+    hard_handovers: int = 0
+    ping_pongs: int = 0
+    completion_times_s: List[float] = field(default_factory=list)
+    outage_s: float = 0.0
+    outage_fraction: float = 0.0
+
+    def to_dict(self) -> dict:
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "FleetUserResult":
+        return cls(**record)
+
+
+def user_result(
+    user: UserSpec, mobile, protocol, duration_s: float
+) -> FleetUserResult:
+    """Extract one user's :class:`FleetUserResult` from a finished run.
+
+    Works for any registered protocol arm: the handover log and search
+    timelines are read when the protocol exposes them (the
+    :data:`repro.registry.PROTOCOLS` contract requires a ``handover_log``
+    only for comparison-style arms) and degrade to empty otherwise.
+    """
+    from repro.experiments.pingpong import count_ping_pongs
+    from repro.net.handover import HandoverOutcome
+
+    log = getattr(protocol, "handover_log", None)
+    records = log.records if log is not None else []
+    completed = [r for r in records if r.complete_s is not None]
+    timelines = getattr(protocol, "timelines", None) or []
+    search_latencies = [
+        t.found_s - t.search_start_s for t in timelines if t.found_s is not None
+    ]
+    outage_s = sum(r.interruption_s for r in records)
+    return FleetUserResult(
+        user_id=user.user_id,
+        profile=user.profile,
+        scenario=user.scenario,
+        codebook=user.codebook,
+        protocol=user.protocol,
+        seed=user.seed,
+        start_x=user.start_x,
+        start_offset_s=user.start_offset_s,
+        serving_cell_initial=user.serving_cell,
+        serving_cell_final=mobile.connection.serving_cell,
+        bursts_measured=mobile.bursts_measured,
+        bursts_skipped_busy=mobile.bursts_skipped_busy,
+        bursts_declined=mobile.bursts_declined,
+        searches_started=len(timelines),
+        search_latencies_s=search_latencies,
+        handovers_completed=len(completed),
+        handovers_failed=sum(
+            1 for r in records if r.outcome is HandoverOutcome.FAILED
+        ),
+        soft_handovers=sum(
+            1 for r in records if r.outcome is HandoverOutcome.SOFT
+        ),
+        hard_handovers=sum(
+            1 for r in records if r.outcome is HandoverOutcome.HARD
+        ),
+        ping_pongs=count_ping_pongs(records),
+        completion_times_s=[r.completion_time_s for r in completed],
+        outage_s=outage_s,
+        outage_fraction=outage_s / duration_s if duration_s > 0.0 else 0.0,
+    )
+
+
+def _cdf_payload(values: Sequence[float]) -> Optional[dict]:
+    """``{"xs": ..., "ps": ...}`` series, or ``None`` for an empty sample."""
+    if not len(values):
+        return None
+    xs, ps = empirical_cdf(values)
+    return {"xs": list(xs), "ps": list(ps)}
+
+
+def aggregate_users(
+    users: Sequence[FleetUserResult], duration_s: float
+) -> Dict[str, object]:
+    """Fleet-level aggregates over a population of user results.
+
+    Returns a JSON-safe dict with three sections:
+
+    * ``totals`` — population-wide counts;
+    * ``summary`` — per-metric :func:`summarize` dicts (search latency,
+      handover completion time, per-user handover/ping-pong rates per
+      minute, per-user outage fraction);
+    * ``cdf`` — the fleet CDF series Fig. 2c-style plots need (search
+      latency, completion time, outage fraction).
+    """
+    search_latencies = [x for u in users for x in u.search_latencies_s]
+    completion_times = [x for u in users for x in u.completion_times_s]
+    per_minute = 60.0 / duration_s if duration_s > 0.0 else 0.0
+    handover_rates = [u.handovers_completed * per_minute for u in users]
+    pingpong_rates = [u.ping_pongs * per_minute for u in users]
+    outage_fractions = [u.outage_fraction for u in users]
+    return {
+        "totals": {
+            "users": len(users),
+            "bursts_measured": sum(u.bursts_measured for u in users),
+            "bursts_skipped_busy": sum(u.bursts_skipped_busy for u in users),
+            "searches_started": sum(u.searches_started for u in users),
+            "handovers_completed": sum(u.handovers_completed for u in users),
+            "handovers_failed": sum(u.handovers_failed for u in users),
+            "soft_handovers": sum(u.soft_handovers for u in users),
+            "hard_handovers": sum(u.hard_handovers for u in users),
+            "ping_pongs": sum(u.ping_pongs for u in users),
+        },
+        "summary": {
+            "search_latency_s": summarize(search_latencies),
+            "completion_time_s": summarize(completion_times),
+            "handover_rate_per_min": summarize(handover_rates),
+            "ping_pong_rate_per_min": summarize(pingpong_rates),
+            "outage_fraction": summarize(outage_fractions),
+        },
+        "cdf": {
+            "search_latency_s": _cdf_payload(search_latencies),
+            "completion_time_s": _cdf_payload(completion_times),
+            "outage_fraction": _cdf_payload(outage_fractions),
+        },
+    }

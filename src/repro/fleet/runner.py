@@ -1,0 +1,177 @@
+"""Fleet execution: one deployment, N users, one batched burst grid.
+
+:func:`build_fleet` materializes a :class:`~repro.fleet.spec.FleetSpec`
+onto the paper's street grid — every user gets a mobility trajectory
+(driven by the user's own derived seed), a receive codebook, and a
+protocol instance, all resolved through :mod:`repro.registry` — and
+:func:`run_fleet_trial` runs it to completion and folds the per-user
+event logs into fleet metrics.
+
+Burst delivery uses the deployment's cross-user batched path by default
+(``REPRO_FLEET_PATH=scalar`` selects the per-mobile reference loop);
+both paths produce byte-identical artifacts for the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.campaign.spec import SpecError, build_config, canonical_json
+from repro.fleet.metrics import FleetUserResult, aggregate_users, user_result
+from repro.fleet.spec import FleetSpec, UserSpec, synthesize_users
+from repro.mobility.base import TimeShifted
+from repro.net.deployment import Deployment
+from repro.net.mobile import Mobile
+
+PathLike = Union[str, Path]
+
+#: Fleet artifact schema version.
+FLEET_FORMAT = 1
+
+
+@dataclass
+class FleetRun:
+    """A built (not yet run) fleet: deployment plus resolved population."""
+
+    spec: FleetSpec
+    deployment: Deployment
+    users: List[UserSpec]
+    mobiles: List[Mobile]
+    protocols: List[object]
+
+
+@dataclass(frozen=True)
+class FleetTrialResult:
+    """Outcome of one fleet run: spec identity + per-user results + CDFs."""
+
+    fleet: dict
+    fleet_hash: str
+    users: List[FleetUserResult]
+    aggregates: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FLEET_FORMAT,
+            "fleet": self.fleet,
+            "fleet_hash": self.fleet_hash,
+            "users": [user.to_dict() for user in self.users],
+            "aggregates": self.aggregates,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "FleetTrialResult":
+        try:
+            return cls(
+                fleet=dict(record["fleet"]),
+                fleet_hash=str(record["fleet_hash"]),
+                users=[FleetUserResult.from_dict(u) for u in record["users"]],
+                aggregates=dict(record["aggregates"]),
+            )
+        except (KeyError, TypeError, AttributeError) as error:
+            raise SpecError(
+                f"not a fleet artifact (missing or malformed field: {error})"
+            ) from error
+
+
+def build_fleet(spec: FleetSpec) -> FleetRun:
+    """Materialize a fleet spec onto the street grid.
+
+    Construction order is user-index order throughout (mobiles, then
+    each user's protocol), so both burst-delivery paths — and any worker
+    count driving this via a campaign — see identical RNG stream
+    creation and event scheduling.
+    """
+    from repro.experiments.scenarios import build_street_grid_deployment
+    from repro.registry import SCENARIOS, make_codebook, make_protocol
+
+    deployment = build_street_grid_deployment(
+        spec.seed, n_cells=spec.n_cells, bs_beamwidth_deg=spec.bs_beamwidth_deg
+    )
+    users = synthesize_users(spec)
+    mobiles: List[Mobile] = []
+    protocols: List[object] = []
+    for user in users:
+        trajectory = SCENARIOS.get(user.scenario).make_trajectory(
+            rng=np.random.default_rng(user.seed), start_x=user.start_x
+        )
+        if user.start_offset_s > 0.0:
+            trajectory = TimeShifted(trajectory, user.start_offset_s)
+        mobile = deployment.add_mobile(
+            Mobile(user.user_id, trajectory, make_codebook(user.codebook))
+        )
+        mobiles.append(mobile)
+    # Protocols attach after the whole population exists: a protocol
+    # constructor may inspect deployment topology.
+    for user, mobile in zip(users, mobiles):
+        protocols.append(
+            make_protocol(
+                user.protocol,
+                deployment,
+                mobile,
+                user.serving_cell,
+                build_config(user.overrides),
+            )
+        )
+    return FleetRun(
+        spec=spec,
+        deployment=deployment,
+        users=users,
+        mobiles=mobiles,
+        protocols=protocols,
+    )
+
+
+def run_fleet_trial(spec: FleetSpec) -> FleetTrialResult:
+    """Run one fleet to completion and aggregate its population metrics."""
+    run = build_fleet(spec)
+    started: List = []
+    try:
+        for protocol in run.protocols:
+            protocol.start()
+            started.append(protocol)
+        run.deployment.run(spec.duration_s)
+    finally:
+        # Mirror the Session contract: every protocol that started is
+        # stopped even when a later start() or the run itself raises.
+        for protocol in started:
+            protocol.stop()
+        run.deployment.stop()
+    results = [
+        user_result(user, mobile, protocol, spec.duration_s)
+        for user, mobile, protocol in zip(run.users, run.mobiles, run.protocols)
+    ]
+    return FleetTrialResult(
+        fleet=spec.to_dict(),
+        fleet_hash=spec.fleet_hash,
+        users=results,
+        aggregates=aggregate_users(results, spec.duration_s),
+    )
+
+
+# --------------------------------------------------------------- artifacts
+def write_fleet_artifact(result: FleetTrialResult, path: PathLike) -> Path:
+    """Write a fleet result as canonical JSON (sorted keys, atomic).
+
+    Canonical encoding is what makes the determinism contract testable
+    at the byte level: same spec -> same bytes, across burst paths,
+    worker counts and processes.
+    """
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    text = canonical_json(result.to_dict())
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(text + "\n", encoding="utf-8")
+    tmp.replace(target)
+    return target
+
+
+def load_fleet_artifact(path: PathLike) -> FleetTrialResult:
+    """Read a fleet artifact written by :func:`write_fleet_artifact`."""
+    record = json.loads(Path(path).read_text(encoding="utf-8"))
+    return FleetTrialResult.from_dict(record)

@@ -1,0 +1,325 @@
+"""Fleet specifications: declarative multi-UE populations.
+
+A fleet is a *population*, not a grid: ``N`` users sampled from weighted
+:class:`UserProfile` arms (mobility scenario, receive codebook, protocol,
+spawn region, start-time jitter), all resolved through the
+:mod:`repro.registry` registries, sharing one street-grid deployment and
+one simulated clock.
+
+Determinism story, mirroring the campaign machinery:
+
+* A :class:`FleetSpec` has a content hash (:attr:`FleetSpec.fleet_hash`)
+  that is a pure function of what the fleet computes — profiles, user
+  count, seed, duration — never of its display name.
+* Population synthesis (:func:`synthesize_users`) draws every
+  assignment (profile choice, spawn x, start offset) from one generator
+  seeded by that hash, and derives each user's own seed with the same
+  SHA-256 scheme the RNG registry uses
+  (:func:`repro.sim.rng.derive_seed`), so user ``k`` of a spec is the
+  same user in every process, on every worker, on every burst path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.campaign.spec import SpecError, canonical_json, content_hash
+from repro.sim.rng import derive_seed
+
+PathLike = Union[str, Path]
+
+#: Default spawn region: the street span covered by the 3-cell grid's
+#: cell-edge dynamics (A/B boundary at x=10, B/C at x=30).
+DEFAULT_SPAWN_X = (4.0, 36.0)
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One weighted arm of a fleet population.
+
+    Attributes
+    ----------
+    name:
+        Profile label (recorded per user in results).
+    weight:
+        Relative sampling weight (any positive number).
+    scenario / codebook / protocol:
+        Registered scenario, mobile codebook and protocol names; every
+        axis is validated against :mod:`repro.registry` at construction.
+    spawn_x:
+        ``(lo, hi)`` street interval users of this profile spawn in,
+        uniformly.
+    start_jitter_s:
+        Users begin their trajectory a uniform ``[0, start_jitter_s]``
+        after the run starts (they hold the spawn pose until then),
+        de-synchronizing the population.
+    overrides:
+        Protocol config overrides (the campaign override dict format).
+    """
+
+    name: str
+    weight: float = 1.0
+    scenario: str = "walk"
+    codebook: str = "narrow"
+    protocol: str = "silent-tracker"
+    spawn_x: Tuple[float, float] = DEFAULT_SPAWN_X
+    start_jitter_s: float = 0.0
+    overrides: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.registry import CODEBOOKS, PROTOCOLS, SCENARIOS, UnknownNameError
+
+        if not self.name:
+            raise SpecError("profile name must be non-empty")
+        if not self.weight > 0.0:
+            raise SpecError(
+                f"profile {self.name!r}: weight must be positive, got {self.weight!r}"
+            )
+        object.__setattr__(self, "spawn_x", tuple(self.spawn_x))
+        if len(self.spawn_x) != 2 or not self.spawn_x[0] <= self.spawn_x[1]:
+            raise SpecError(
+                f"profile {self.name!r}: spawn_x must be (lo, hi) with lo <= hi, "
+                f"got {self.spawn_x!r}"
+            )
+        if self.start_jitter_s < 0.0:
+            raise SpecError(
+                f"profile {self.name!r}: start jitter must be non-negative, "
+                f"got {self.start_jitter_s!r}"
+            )
+        try:
+            SCENARIOS.get(self.scenario)
+            CODEBOOKS.get(self.codebook)
+            PROTOCOLS.get(self.protocol)
+        except UnknownNameError as error:
+            raise SpecError(f"profile {self.name!r}: {error}") from None
+        canonical_json(dict(self.overrides))  # must be JSON-serialisable
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "scenario": self.scenario,
+            "codebook": self.codebook,
+            "protocol": self.protocol,
+            "spawn_x": list(self.spawn_x),
+            "start_jitter_s": self.start_jitter_s,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "UserProfile":
+        return cls(
+            name=str(record["name"]),
+            weight=float(record.get("weight", 1.0)),
+            scenario=str(record.get("scenario", "walk")),
+            codebook=str(record.get("codebook", "narrow")),
+            protocol=str(record.get("protocol", "silent-tracker")),
+            spawn_x=tuple(record.get("spawn_x", DEFAULT_SPAWN_X)),
+            start_jitter_s=float(record.get("start_jitter_s", 0.0)),
+            overrides=dict(record.get("overrides") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Declarative description of one population-scale run.
+
+    Attributes
+    ----------
+    name:
+        Display name (not part of :attr:`fleet_hash`).
+    n_users:
+        Population size.
+    profiles:
+        Weighted :class:`UserProfile` arms users are sampled from.
+    seed:
+        Master seed: seeds the deployment RNG registry and, through the
+        spec content hash, the population synthesis.
+    duration_s:
+        Simulated run length.
+    n_cells:
+        Base stations on the street grid (2..3).
+    bs_beamwidth_deg:
+        Station codebook beamwidth override (paper default when None).
+    """
+
+    name: str
+    n_users: int
+    profiles: Tuple[UserProfile, ...]
+    seed: int = 0
+    duration_s: float = 6.0
+    n_cells: int = 3
+    bs_beamwidth_deg: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("fleet name must be non-empty")
+        if self.n_users < 1:
+            raise SpecError(f"need >= 1 user, got {self.n_users!r}")
+        object.__setattr__(self, "profiles", tuple(self.profiles))
+        if not self.profiles:
+            raise SpecError("need >= 1 user profile")
+        names = [profile.name for profile in self.profiles]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate profile names in {names!r}")
+        if self.seed < 0:
+            raise SpecError(f"seed must be non-negative, got {self.seed!r}")
+        if self.duration_s <= 0.0:
+            raise SpecError(
+                f"duration_s must be positive, got {self.duration_s!r}"
+            )
+
+    # ----------------------------------------------------------- identity
+    def identity(self) -> dict:
+        """Everything the run depends on (display name excluded)."""
+        return {
+            "n_users": self.n_users,
+            "profiles": [profile.to_dict() for profile in self.profiles],
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "n_cells": self.n_cells,
+            "bs_beamwidth_deg": self.bs_beamwidth_deg,
+        }
+
+    @property
+    def fleet_hash(self) -> str:
+        """Content hash of the spec — the campaign cell-ID scheme."""
+        return content_hash(self.identity())
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        record = self.identity()
+        record["name"] = self.name
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "FleetSpec":
+        try:
+            return cls(
+                name=str(record.get("name", "fleet")),
+                n_users=int(record["n_users"]),
+                profiles=tuple(
+                    UserProfile.from_dict(p) for p in record["profiles"]
+                ),
+                seed=int(record.get("seed", 0)),
+                duration_s=float(record.get("duration_s", 6.0)),
+                n_cells=int(record.get("n_cells", 3)),
+                bs_beamwidth_deg=(
+                    None
+                    if record.get("bs_beamwidth_deg") is None
+                    else float(record["bs_beamwidth_deg"])
+                ),
+            )
+        except KeyError as error:
+            raise SpecError(f"fleet spec missing field: {error}") from error
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+
+def load_spec(path: PathLike) -> FleetSpec:
+    """Read a :class:`FleetSpec` from a JSON file."""
+    try:
+        record = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise SpecError(f"{path}: malformed JSON: {error}") from error
+    return FleetSpec.from_dict(record)
+
+
+# ------------------------------------------------------------- synthesis
+@dataclass(frozen=True)
+class UserSpec:
+    """One synthesized user: a fully resolved population member."""
+
+    index: int
+    user_id: str
+    profile: str
+    scenario: str
+    codebook: str
+    protocol: str
+    start_x: float
+    start_offset_s: float
+    serving_cell: str
+    seed: int
+    overrides: Mapping = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "user_id": self.user_id,
+            "profile": self.profile,
+            "scenario": self.scenario,
+            "codebook": self.codebook,
+            "protocol": self.protocol,
+            "start_x": self.start_x,
+            "start_offset_s": self.start_offset_s,
+            "serving_cell": self.serving_cell,
+            "seed": self.seed,
+            "overrides": dict(self.overrides),
+        }
+
+
+def nearest_cell(start_x: float, n_cells: int) -> str:
+    """The street-grid cell closest to a spawn position.
+
+    Users attach to their geometrically best cell at spawn — the state a
+    converged idle-mode reselection would have left them in.
+    """
+    from repro.experiments.scenarios import STATION_POSITIONS
+
+    cells = list(STATION_POSITIONS)[:n_cells]
+    return min(cells, key=lambda c: abs(STATION_POSITIONS[c].x - start_x))
+
+
+def synthesize_users(spec: FleetSpec) -> List[UserSpec]:
+    """Sample the population of ``spec``, deterministically.
+
+    One generator — seeded from the spec's content hash — drives every
+    assignment, in user-index order: profile choice (weighted), spawn
+    position (uniform in the profile's region), start offset (uniform in
+    the profile's jitter).  Each user also receives an independent seed
+    derived from the hash and the user index, which drives the user's
+    mobility stream.
+    """
+    rng = np.random.default_rng(derive_seed(spec.fleet_hash, "population"))
+    weights = np.array([profile.weight for profile in spec.profiles], dtype=float)
+    cumulative = np.cumsum(weights / weights.sum())
+    users: List[UserSpec] = []
+    for index in range(spec.n_users):
+        pick = float(rng.random())
+        arm = min(
+            int(np.searchsorted(cumulative, pick, side="right")),
+            len(spec.profiles) - 1,
+        )
+        profile = spec.profiles[arm]
+        lo, hi = profile.spawn_x
+        start_x = float(lo + (hi - lo) * rng.random())
+        offset = (
+            float(profile.start_jitter_s * rng.random())
+            if profile.start_jitter_s > 0.0
+            else 0.0
+        )
+        users.append(
+            UserSpec(
+                index=index,
+                user_id=f"ue{index:05d}",
+                profile=profile.name,
+                scenario=profile.scenario,
+                codebook=profile.codebook,
+                protocol=profile.protocol,
+                start_x=start_x,
+                start_offset_s=offset,
+                serving_cell=nearest_cell(start_x, spec.n_cells),
+                seed=derive_seed(spec.fleet_hash, f"user/{index}"),
+                overrides=dict(profile.overrides),
+            )
+        )
+    return users

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import List, Sequence
 
 from repro.geometry.pose import Pose
 from repro.geometry.vectors import Vec3
@@ -45,6 +46,18 @@ class Trajectory(ABC):
             total += previous.distance_to(current)
             previous = current
         return total / (t1 - t0)
+
+
+def sample_poses(trajectories: Sequence["Trajectory"], time_s: float) -> List[Pose]:
+    """Poses of a whole population at one instant, in input order.
+
+    The cross-user pose-sampling entry point of the fleet burst path.
+    Trajectory models are heterogeneous Python objects, so this is a
+    plain ordered loop today; it exists so population-wide pose
+    evaluation has one seam to optimize (per-model vectorization,
+    caching) without touching the delivery code.
+    """
+    return [trajectory.pose_at(time_s) for trajectory in trajectories]
 
 
 class StaticPose(Trajectory):

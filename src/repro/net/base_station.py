@@ -88,6 +88,21 @@ class BaseStation:
         body_azimuth = self.pose.world_to_body(target_world_azimuth)
         return self.codebook.gains_dbi(body_azimuth, beam_indices)
 
+    def tx_gains_grid_dbi(self, target_world_azimuths, beam_indices=None):
+        """Per-beam gains toward many world-frame azimuths: a ``(U, B)``
+        float64 grid, one row per target azimuth.
+
+        The cross-user counterpart of :meth:`tx_gains_dbi`: the frame
+        conversion stays scalar per target (bit-identical to the
+        per-mobile path) while the codebook evaluates the whole
+        users x beams grid in one array op per pattern.  Row ``u`` is
+        bit-identical to ``tx_gains_dbi(target_world_azimuths[u], ...)``.
+        """
+        body_azimuths = [
+            self.pose.world_to_body(azimuth) for azimuth in target_world_azimuths
+        ]
+        return self.codebook.gains_grid_dbi(body_azimuths, beam_indices)
+
     def best_tx_beam_towards(self, target_world_azimuth: float) -> int:
         """Codebook beam whose boresight is closest to the target azimuth."""
         body_azimuth = self.pose.world_to_body(target_world_azimuth)

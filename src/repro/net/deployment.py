@@ -4,13 +4,35 @@ One :class:`Deployment` owns everything a run needs — simulator, RNG
 registry, channel, link engine, trace, metrics — and drives SSB burst
 delivery from each base station to each mobile via drift-free periodic
 tasks.  Experiment runners construct a fresh deployment per trial.
+
+Burst delivery offers two paths with one determinism contract:
+
+* the **per-mobile loop** — each mobile handles the burst end to end
+  (arbitration, dwell evaluation, listener callback) before the next
+  mobile is visited; and
+* the **cross-user batched path** — arbitration runs for every mobile
+  first (in the same registration order), the admitted population's
+  dwell grid is evaluated in one
+  :meth:`~repro.net.link_engine.LinkEngine.measure_burst_batch` call,
+  and the measurements are delivered to the listeners in that same
+  order.
+
+Per-link RNG streams are consumed identically on both paths (the grid
+draws per link, in user order, from each link's own streams), and the
+shared decode stream is only touched inside listener callbacks — which
+run in the same relative order on both paths — so a run is
+byte-identical whichever path delivers its bursts.  The batched path is
+the default for multi-mobile (fleet) deployments; ``REPRO_FLEET_PATH=
+scalar`` selects the per-mobile reference loop.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.mobility.base import sample_poses
 from repro.net.base_station import BaseStation
 from repro.net.link_engine import LinkEngine
 from repro.net.mobile import Mobile
@@ -47,7 +69,11 @@ class Deployment:
         self._stations: Dict[str, BaseStation] = {}
         self._mobiles: Dict[str, Mobile] = {}
         self._burst_tasks: List[PeriodicTask] = []
+        self._resume_at: Dict[str, float] = {}
         self._started = False
+        #: Cross-user burst delivery path; the per-mobile loop is kept
+        #: as the reference for equivalence tests and perf comparison.
+        self.fleet_batch = os.environ.get("REPRO_FLEET_PATH", "batch") != "scalar"
 
     # -------------------------------------------------------------- topology
     def add_station(self, station: BaseStation) -> BaseStation:
@@ -95,18 +121,30 @@ class Deployment:
         Each station gets a drift-free periodic task at the SSB period,
         phase-offset per its schedule; every burst is offered to every
         mobile (the mobile's RF-chain arbitration decides what actually
-        gets measured).
+        gets measured).  After a :meth:`stop`, calling :meth:`start`
+        (or :meth:`run`) re-arms the tasks on the stations' *absolute*
+        SSB schedules, so a stop/run cycle never drifts the burst grid.
         """
         if self._started:
             raise RuntimeError("deployment already started")
         self._started = True
+        now = self.sim.now
         for station in self._stations.values():
+            # First burst: the next grid point at or after now — but
+            # never one that already fired before a stop().  When a
+            # stop/start cycle lands exactly on a grid point,
+            # next_burst_start(now) is that (already delivered) point;
+            # the resume time recorded at stop() skips past it.
+            first = station.schedule.next_burst_start(now)
+            resume = self._resume_at.get(station.cell_id)
+            if resume is not None:
+                first = max(first, station.schedule.next_burst_start(resume))
             self._burst_tasks.append(
                 PeriodicTask(
                     self.sim,
                     station.frame.ssb_period_s,
                     self._make_burst_handler(station),
-                    start_delay=station.schedule.phase_s,
+                    start_delay=first - now,
                     label=f"ssb.{station.cell_id}",
                 )
             )
@@ -114,19 +152,64 @@ class Deployment:
     def _make_burst_handler(self, station: BaseStation):
         def handle_burst() -> None:
             self.metrics.incr(f"bursts.{station.cell_id}")
-            for mobile in self._mobiles.values():
-                mobile.deliver_burst(station, self.links, self.sim.now)
+            if self.fleet_batch and len(self._mobiles) > 1 and self.links.vectorized:
+                self._deliver_burst_batch(station)
+            else:
+                for mobile in self._mobiles.values():
+                    mobile.deliver_burst(station, self.links, self.sim.now)
 
         return handle_burst
 
+    def _deliver_burst_batch(self, station: BaseStation) -> None:
+        """Cross-user batched burst delivery (see module docstring).
+
+        Three phases, each visiting mobiles in registration order —
+        exactly the order the per-mobile loop uses: arbitration
+        (listener beam choices, radio occupancy), one grid evaluation
+        for the admitted population, then listener delivery.
+        """
+        now = self.sim.now
+        admitted: List[Mobile] = []
+        rx_beams: List[int] = []
+        for mobile in self._mobiles.values():
+            rx_beam = mobile.begin_burst(station, now)
+            if rx_beam is None:
+                continue
+            admitted.append(mobile)
+            rx_beams.append(rx_beam)
+        if not admitted:
+            return
+        poses = sample_poses([mobile.trajectory for mobile in admitted], now)
+        requests = [
+            (mobile.mobile_id, pose, mobile.rx_gain_fn(now, pose), rx_beam)
+            for mobile, pose, rx_beam in zip(admitted, poses, rx_beams)
+        ]
+        measurements = self.links.measure_burst_batch(station, requests, now)
+        for mobile, measurement in zip(admitted, measurements):
+            mobile.complete_burst(measurement)
+
     def run(self, duration_s: float) -> None:
-        """Start (if needed) and advance simulated time by ``duration_s``."""
+        """Start (if needed) and advance simulated time by ``duration_s``.
+
+        A stopped deployment re-arms its burst tasks here, so
+        ``run(); stop(); run()`` keeps delivering bursts (on the
+        original absolute schedule) instead of silently advancing time
+        with zero bursts.
+        """
         if not self._started:
             self.start()
         self.sim.run_until(self.sim.now + duration_s)
 
     def stop(self) -> None:
-        """Stop all burst tasks (the simulator itself can keep running)."""
-        for task in self._burst_tasks:
+        """Stop all burst tasks (the simulator itself can keep running).
+
+        Clears the started flag so a subsequent :meth:`run` re-arms
+        burst delivery rather than running a burst-less clock, and
+        records each station's next unfired burst so the restart never
+        delivers a boundary burst twice.
+        """
+        for station, task in zip(self._stations.values(), self._burst_tasks):
+            self._resume_at[station.cell_id] = task.next_fire_s
             task.stop()
         self._burst_tasks.clear()
+        self._started = False

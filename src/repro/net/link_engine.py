@@ -145,6 +145,84 @@ class LinkEngine:
             snr_db=budget.snr_db(best_rss),
         )
 
+    def measure_burst_batch(
+        self,
+        station: BaseStation,
+        requests,
+        time_s: float,
+        detection_snr_db: Optional[float] = None,
+    ):
+        """Evaluate one SSB burst for a whole population in one pass.
+
+        ``requests`` is a sequence of ``(mobile_id, mobile_pose,
+        rx_gain_fn, rx_beam)`` tuples — one entry per radio-eligible
+        mobile, in delivery order.  The burst's sweep is evaluated as a
+        ``(users, dwells)`` grid: one codebook array op covers every
+        user's transmit gains, one :meth:`Channel.burst_rss_grid_dbm`
+        call covers every link's RSS, and detection + argmax run on the
+        grid.  Per-link RNG draws happen per user in request order from
+        that link's own streams, so the returned measurements — and the
+        stream states left behind — are bit-identical to calling
+        :meth:`measure_burst` per request in the same order.
+
+        Returns one :class:`RssMeasurement` per request, in order.
+        """
+        budget = station.link_budget
+        threshold = (
+            budget.detection_snr_db if detection_snr_db is None else detection_snr_db
+        )
+        beams = station.schedule.beams_in_burst()
+        if not requests:
+            return []
+        # Per-user scalar geometry: bearings, rx gain and the body-frame
+        # conversion stay on the exact scalar ops the per-mobile path
+        # uses (O(users), cheap); only the users x dwells work batches.
+        bearings_to_mobile = []
+        rx_gains = []
+        link_ids = []
+        poses = []
+        for mobile_id, mobile_pose, rx_gain_fn, rx_beam in requests:
+            bearings_to_mobile.append(station.pose.bearing_to(mobile_pose.position))
+            rx_gains.append(
+                rx_gain_fn(rx_beam, mobile_pose.bearing_to(station.pose.position))
+            )
+            link_ids.append(self.link_id(station.cell_id, mobile_id))
+            poses.append(mobile_pose)
+        tx_gains = station.tx_gains_grid_dbi(bearings_to_mobile, beams)
+        rss = self.channel.burst_rss_grid_dbm(
+            link_ids,
+            time_s,
+            station.pose,
+            poses,
+            tx_gains,
+            np.asarray(rx_gains, dtype=float),
+            station.tx_power_dbm,
+        )
+        detected = rss - budget.noise_floor_dbm >= threshold
+        any_detected = detected.any(axis=1)
+        # Argmax over the detected dwells only; ties resolve to the
+        # earliest dwell exactly like the per-mobile paths.
+        best = np.argmax(np.where(detected, rss, -np.inf), axis=1)
+        measurements = []
+        for u, (mobile_id, mobile_pose, rx_gain_fn, rx_beam) in enumerate(requests):
+            if not any_detected[u]:
+                measurements.append(
+                    RssMeasurement(time_s, station.cell_id, rx_beam)
+                )
+                continue
+            best_rss = float(rss[u, best[u]])
+            measurements.append(
+                RssMeasurement(
+                    time_s,
+                    station.cell_id,
+                    rx_beam,
+                    tx_beam=beams[int(best[u])],
+                    rss_dbm=best_rss,
+                    snr_db=budget.snr_db(best_rss),
+                )
+            )
+        return measurements
+
     def _measure_burst_scalar(
         self,
         station: BaseStation,

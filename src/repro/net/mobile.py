@@ -116,6 +116,33 @@ class Mobile:
             raise ValueError(f"duration must be non-negative, got {duration_s!r}")
         self._busy_until_s = max(self._busy_until_s, now_s + duration_s)
 
+    def begin_burst(self, station: BaseStation, now_s: float) -> Optional[int]:
+        """RF-chain arbitration prologue of one SSB burst.
+
+        Applies the single-RF-chain check, asks the listener for a
+        receive beam, and occupies the radio for the burst.  Returns
+        the receive beam index when the burst will be measured, ``None``
+        when it is skipped (busy or declined) — in which case all
+        skip accounting has already happened.
+        """
+        if self._listener is None:
+            return None
+        if self.radio_busy(now_s):
+            self.bursts_skipped_busy += 1
+            return None
+        rx_beam = self._listener.choose_rx_beam(station.cell_id, now_s)
+        if rx_beam is None:
+            self.bursts_declined += 1
+            return None
+        self.occupy_radio(now_s, station.schedule.burst_duration_s())
+        return rx_beam
+
+    def complete_burst(self, measurement: RssMeasurement) -> RssMeasurement:
+        """Account for a measured burst and feed it to the listener."""
+        self.bursts_measured += 1
+        self._listener.on_measurement(measurement)
+        return measurement
+
     def deliver_burst(
         self,
         station: BaseStation,
@@ -128,16 +155,9 @@ class Mobile:
         receive beam, performs the dwell, and feeds the result back to
         the listener.  Returns the measurement when one was made.
         """
-        if self._listener is None:
-            return None
-        if self.radio_busy(now_s):
-            self.bursts_skipped_busy += 1
-            return None
-        rx_beam = self._listener.choose_rx_beam(station.cell_id, now_s)
+        rx_beam = self.begin_burst(station, now_s)
         if rx_beam is None:
-            self.bursts_declined += 1
             return None
-        self.occupy_radio(now_s, station.schedule.burst_duration_s())
         pose = self.pose_at(now_s)
         measurement = link_engine.measure_burst(
             station,
@@ -147,9 +167,7 @@ class Mobile:
             rx_beam,
             now_s,
         )
-        self.bursts_measured += 1
-        self._listener.on_measurement(measurement)
-        return measurement
+        return self.complete_burst(measurement)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Mobile({self.mobile_id}, {len(self.codebook)} beams)"

@@ -235,6 +235,73 @@ class Channel:
             + fading_db
         )
 
+    def burst_rss_grid_dbm(
+        self,
+        link_ids,
+        time_s: float,
+        tx_pose: Pose,
+        rx_poses,
+        tx_gains_dbi: np.ndarray,
+        rx_gains_dbi,
+        tx_power_dbm: float,
+        include_fading: bool = True,
+    ) -> np.ndarray:
+        """Vectorized RSS of one SSB burst heard by a whole population.
+
+        The cross-user extension of :meth:`burst_rss_dbm`: ``link_ids``
+        and ``rx_poses`` name one receiving link per user, and
+        ``tx_gains_dbi`` is the ``(users, dwells)`` transmit-gain grid of
+        the burst's sweep toward each user.  Large-scale terms and the
+        per-link RNG draws (shadowing, blockage, fading) are made
+        per user *in user order*, each from that link's own streams, so
+        the grid is bit-identical to stacking ``burst_rss_dbm`` rows for
+        the same users in the same order — and leaves every stream in
+        the exact state that loop would.  Only the final dB combination
+        runs as one ``(U, B)`` array op.
+        """
+        tx_gains = np.asarray(tx_gains_dbi, dtype=float)
+        if tx_gains.ndim != 2:
+            raise ValueError(
+                f"tx gains must be a (users, dwells) grid, got shape {tx_gains.shape}"
+            )
+        n_users, n_dwells = tx_gains.shape
+        if len(link_ids) != n_users or len(rx_poses) != n_users:
+            raise ValueError(
+                f"need one link id and rx pose per user, got "
+                f"{len(link_ids)} links / {len(rx_poses)} poses for {n_users} rows"
+            )
+        if n_dwells == 0 or n_users == 0:
+            # A zero-dwell burst touches no per-link state in the scalar
+            # loop either.
+            return np.empty((n_users, n_dwells), dtype=float)
+        rx_gains_dbi = np.asarray(rx_gains_dbi, dtype=float)
+        loss_db = np.empty(n_users, dtype=float)
+        shadowing_db = np.empty(n_users, dtype=float)
+        blockage_db = np.empty(n_users, dtype=float)
+        fading_db = np.zeros((n_users, n_dwells), dtype=float)
+        for u, link_id in enumerate(link_ids):
+            state = self.link_state(link_id)
+            distance = tx_pose.position.distance_to(rx_poses[u].position)
+            loss_db[u] = self.pathloss.path_loss_db(distance)
+            shadowing_db[u] = state.shadowing.sample_repeat_db(
+                state.traveled_m(rx_poses[u]), n_dwells
+            )
+            blockage_db[u] = state.blockage.attenuation_db(time_s)
+            if include_fading:
+                fading_db[u] = state.fading.sample_db_array(n_dwells)
+        # Same left-to-right operation order as burst_rss_dbm, with the
+        # per-user terms broadcast down columns, so every element is
+        # bit-identical to its per-mobile counterpart.
+        return (
+            tx_power_dbm
+            + tx_gains
+            + rx_gains_dbi[:, None]
+            - loss_db[:, None]
+            - shadowing_db[:, None]
+            - blockage_db[:, None]
+            + fading_db
+        )
+
     def mean_rss_dbm(
         self,
         tx_pose: Pose,

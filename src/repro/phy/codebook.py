@@ -206,6 +206,44 @@ class Codebook:
                 gains[mask] = pattern.gain_dbi_array(offsets[mask])
         return gains
 
+    def gains_grid_dbi(
+        self,
+        body_azimuths_rad: Sequence[float],
+        indices: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Gains of every beam (or of ``indices``) toward many azimuths.
+
+        The cross-user counterpart of :meth:`gains_dbi`: one ``(U, B)``
+        offsets matrix and one array op per distinct pattern object
+        cover a whole population's burst.  Row ``u`` is bit-identical to
+        ``gains_dbi(body_azimuths_rad[u], indices)`` — the fleet batched
+        burst path relies on this.
+        """
+        azimuths = np.asarray(body_azimuths_rad, dtype=float)
+        if azimuths.ndim != 1:
+            raise ValueError(
+                f"need one azimuth per user, got shape {azimuths.shape}"
+            )
+        if indices is None:
+            selected = np.arange(len(self._beams), dtype=np.intp)
+        else:
+            selected = np.asarray(indices, dtype=np.intp)
+            if selected.size and (
+                selected.min() < 0 or selected.max() >= len(self._beams)
+            ):
+                raise IndexError(
+                    f"beam indices out of range for {len(self._beams)}-beam codebook"
+                )
+        offsets = azimuths[:, None] - self._boresights[selected][None, :]
+        if len(self._pattern_groups) == 1:
+            return self._pattern_groups[0][0].gain_dbi_array(offsets)
+        gains = np.empty(offsets.shape, dtype=float)
+        for pattern, positions in self._pattern_groups:
+            mask = np.isin(selected, positions)
+            if mask.any():
+                gains[:, mask] = pattern.gain_dbi_array(offsets[:, mask])
+        return gains
+
     def sweep_order(self, start: int = 0) -> List[int]:
         """Exhaustive-search visiting order starting from ``start``.
 

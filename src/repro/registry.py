@@ -70,6 +70,7 @@ BUILTIN_MODULES = (
     "repro.experiments.workloads",      # "workload"
     "repro.experiments.hierarchical",   # "hierarchical"
     "repro.experiments.pingpong",       # "pingpong"
+    "repro.fleet.experiment",           # "fleet" (population-scale runs)
 )
 
 

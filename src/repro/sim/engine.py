@@ -294,14 +294,27 @@ class PeriodicTask:
     def ticks_fired(self) -> int:
         return self._tick
 
+    @property
+    def next_fire_s(self) -> float:
+        """Scheduled time of the next tick that has not fired yet.
+
+        Remains meaningful after :meth:`stop` — it is the first tick the
+        task *would* have fired — so a restarted schedule can resume
+        without repeating a tick that already ran.
+        """
+        return self._origin + self._tick * self._period
+
     def _fire(self) -> None:
         if self._stopped:
             return
         self._pending = None
+        # The in-flight tick counts as fired from here on: a stop()
+        # issued inside the callback must leave next_fire_s pointing
+        # past it, or a restarted schedule would repeat it.
+        self._tick += 1
         self._callback()
         if self._stopped:
             return
-        self._tick += 1
         next_time = self._origin + self._tick * self._period
         # Guard against callbacks that consumed simulated time themselves
         # (they should not, but a clamped reschedule beats a crash).

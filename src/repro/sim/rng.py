@@ -17,6 +17,21 @@ from typing import Dict
 import numpy as np
 
 
+def derive_seed(context: str, name: str) -> int:
+    """Stable 64-bit seed from a context string and a name.
+
+    The one hashing scheme every seed in the project derives from:
+    SHA-256 over ``"{context}:{name}"`` (Python's ``hash`` is salted
+    per-process and would break reproducibility).  The registry uses the
+    master seed as context; the fleet population synthesis uses a spec
+    content hash, so a user's seed is a pure function of *what the fleet
+    computes* and the user's index — never of process or worker
+    scheduling.
+    """
+    digest = hashlib.sha256(f"{context}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 class RngRegistry:
     """Factory of independent :class:`numpy.random.Generator` streams."""
 
@@ -31,15 +46,8 @@ class RngRegistry:
         return self._master_seed
 
     def _derive_seed(self, name: str) -> int:
-        """Stable 64-bit seed from (master_seed, name).
-
-        Uses SHA-256 rather than Python's ``hash`` because the latter is
-        salted per-process and would break reproducibility.
-        """
-        digest = hashlib.sha256(
-            f"{self._master_seed}:{name}".encode("utf-8")
-        ).digest()
-        return int.from_bytes(digest[:8], "little")
+        """Stable 64-bit seed from (master_seed, name) via :func:`derive_seed`."""
+        return derive_seed(str(self._master_seed), name)
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.

@@ -66,6 +66,228 @@ class TestArtifact:
         json.dumps(payload)  # must be JSON-serializable
 
 
+def _result_with_median(name, median_s):
+    return {"name": name, "median_s": median_s}
+
+
+class TestCompare:
+    def _payloads(self, current_median, baseline_median):
+        current = {"results": [_result_with_median("case.a", current_median),
+                               _result_with_median("only.current", 1.0)]}
+        baseline = {"results": [_result_with_median("case.a", baseline_median),
+                                _result_with_median("only.baseline", 1.0)]}
+        return current, baseline
+
+    def test_only_shared_cases_compared(self):
+        from repro.bench.harness import compare_payloads
+
+        comparisons = compare_payloads(*self._payloads(1.0, 1.0))
+        assert [c.name for c in comparisons] == ["case.a"]
+
+    def test_regression_beyond_tolerance(self):
+        from repro.bench.harness import compare_payloads, regressions
+
+        comparisons = compare_payloads(*self._payloads(1.3, 1.0))
+        assert regressions(comparisons, tolerance=0.20) == comparisons
+        assert regressions(comparisons, tolerance=0.50) == []
+
+    def test_speedup_is_not_a_regression(self):
+        from repro.bench.harness import compare_payloads, regressions
+
+        comparisons = compare_payloads(*self._payloads(0.5, 1.0))
+        assert regressions(comparisons, tolerance=0.0) == []
+
+    def test_negative_tolerance_rejected(self):
+        from repro.bench.harness import regressions
+
+        with pytest.raises(ValueError):
+            regressions([], tolerance=-0.1)
+
+    def test_meta_mismatch_skipped(self):
+        # A quick-mode run must not be gated against a full-mode
+        # baseline: differing workload meta makes the timings
+        # incomparable, so those cases are skipped (and named).
+        from repro.bench.harness import compare_payloads, incomparable_cases
+
+        current = {"results": [
+            {"name": "case.a", "median_s": 1.0, "meta": {"n_bursts": 200}},
+            {"name": "case.b", "median_s": 1.0, "meta": {"n": 5}},
+        ]}
+        baseline = {"results": [
+            {"name": "case.a", "median_s": 1.0, "meta": {"n_bursts": 500}},
+            {"name": "case.b", "median_s": 1.0, "meta": {"n": 5}},
+        ]}
+        comparisons = compare_payloads(current, baseline)
+        assert [c.name for c in comparisons] == ["case.b"]
+        assert incomparable_cases(current, baseline) == ["case.a"]
+
+    def test_cli_compare_errors_when_nothing_comparable(self, tmp_path, capsys):
+        from repro.bench import run_fleet_bench
+        from repro.bench.harness import write_bench_json
+        from repro.cli import main
+
+        payload = run_fleet_bench(quick=True, repeats=1, warmup=0)
+        # Same case names, different workload meta (a "full-mode"
+        # baseline): every case is skipped, the gate would be vacuous.
+        mismatched = {
+            "results": [
+                {**r, "meta": {**r["meta"], "duration_s": 99.0}}
+                for r in payload["results"]
+            ]
+        }
+        baseline = tmp_path / "baseline.json"
+        write_bench_json(mismatched, baseline)
+        status = main(
+            ["bench", "--suite", "fleet", "--quick", "--repeats", "1",
+             "--out", "", "--compare", str(baseline)]
+        )
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "skipped" in err and "no comparable cases" in err
+
+    def test_cli_compare_without_out_writes_nothing(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # A gating run with no explicit --out must not clobber the
+        # committed default artifact (the very baseline it reads).
+        from repro.bench import run_fleet_bench
+        from repro.bench.harness import write_bench_json
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        payload = run_fleet_bench(quick=True, repeats=1, warmup=0)
+        slow = {
+            "results": [{**r, "median_s": 3600.0} for r in payload["results"]]
+        }
+        baseline = tmp_path / "baseline.json"
+        write_bench_json(slow, baseline)
+        status = main(
+            ["bench", "--suite", "fleet", "--quick", "--repeats", "1",
+             "--compare", str(baseline)]
+        )
+        assert status == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_fleet.json").exists()
+
+    def test_cli_missing_baseline_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        status = main(
+            ["bench", "--suite", "fleet", "--quick", "--repeats", "1",
+             "--out", "", "--compare", str(tmp_path / "nope.json")]
+        )
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_negative_tolerance_exits_2_before_running(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        # The baseline file doesn't even exist: the tolerance check
+        # must reject the invocation before anything runs or loads.
+        status = main(
+            ["bench", "--suite", "fleet", "--compare",
+             str(tmp_path / "nope.json"), "--compare-tolerance", "-0.5"]
+        )
+        assert status == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_operational_error(self, tmp_path, capsys):
+        from repro.bench.harness import BenchError, compare_payloads
+        from repro.cli import main
+
+        with pytest.raises(BenchError):
+            compare_payloads({"results": [{"name": "a", "median_s": 1.0}]},
+                             {"results": [{"name": "a"}]})
+        with pytest.raises(BenchError):
+            compare_payloads({"not-results": []}, {"results": []})
+        # And through the CLI: message + exit 2, no traceback.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"results": [{"name": "a"}]}', encoding="utf-8")
+        status = main(
+            ["bench", "--suite", "fleet", "--quick", "--repeats", "1",
+             "--out", "", "--compare", str(baseline)]
+        )
+        assert status == 2
+        assert "malformed result record" in capsys.readouterr().err
+
+    def test_cli_compare_gates_exit_code(self, tmp_path, capsys):
+        from repro.bench.harness import write_bench_json
+        from repro.cli import main
+
+        # A baseline claiming every case once took an hour: the current
+        # run is faster, so the gate passes.
+        fast_args = ["bench", "--suite", "fleet", "--quick", "--repeats", "1",
+                     "--out", ""]
+        from repro.bench import run_fleet_bench
+
+        payload = run_fleet_bench(quick=True, repeats=1, warmup=0)
+        slow = {
+            "results": [
+                {**r, "median_s": 3600.0} for r in payload["results"]
+            ]
+        }
+        baseline = tmp_path / "baseline.json"
+        write_bench_json(slow, baseline)
+        assert main(fast_args + ["--compare", str(baseline)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        # A baseline claiming instant cases: everything regressed.
+        instant = {
+            "results": [
+                {**r, "median_s": 1e-12} for r in payload["results"]
+            ]
+        }
+        write_bench_json(instant, baseline)
+        assert main(fast_args + ["--compare", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_cli_compare_when_out_overwrites_baseline(self, tmp_path, capsys):
+        # Regression: with --out pointing at the baseline file (the
+        # default when --out is omitted), the run used to overwrite the
+        # baseline *before* loading it, comparing the run against
+        # itself — every ratio 1.0, the gate always green.
+        from repro.bench import run_fleet_bench
+        from repro.bench.harness import write_bench_json
+        from repro.cli import main
+
+        payload = run_fleet_bench(quick=True, repeats=1, warmup=0)
+        instant = {
+            "results": [{**r, "median_s": 1e-12} for r in payload["results"]]
+        }
+        baseline = tmp_path / "baseline.json"
+        write_bench_json(instant, baseline)
+        status = main(
+            ["bench", "--suite", "fleet", "--quick", "--repeats", "1",
+             "--out", str(baseline), "--compare", str(baseline)]
+        )
+        assert status == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+
+class TestFleetSuite:
+    def test_quick_fleet_suite_schema(self, tmp_path):
+        from repro.bench.fleet_suite import run_fleet_bench
+
+        out = tmp_path / "BENCH_fleet.json"
+        payload = run_fleet_bench(
+            quick=True, out_path=str(out), repeats=1, warmup=0
+        )
+        assert out.exists()
+        assert payload["suite"] == "fleet"
+        derived = payload["derived"]
+        assert derived["artifacts_identical"] is True
+        for n_users, speedups in derived["speedups"].items():
+            assert set(speedups) == {
+                "speedup_vs_scalar", "speedup_vs_permobile",
+            }
+        curves = derived["scaling_median_s"]
+        assert set(curves) == {"scalar", "permobile", "batch"}
+        # The batch path never loses to the fully scalar reference.
+        for n_users in curves["batch"]:
+            assert curves["batch"][n_users] < curves["scalar"][n_users]
+
+
 class TestSuite:
     def test_quick_suite_schema_and_determinism_check(self, tmp_path):
         from repro.bench.suites import run_bench

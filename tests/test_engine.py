@@ -259,6 +259,28 @@ class TestPeriodicTask:
         sim.run_until(10.0)
         assert count[0] == 3
 
+    def test_next_fire_after_stop_inside_callback(self):
+        # Regression: the in-flight tick counts as fired, so a stop()
+        # from inside the callback leaves next_fire_s pointing at the
+        # FOLLOWING tick — a restarted schedule must not repeat it.
+        sim = Simulator()
+        task_ref = []
+
+        def tick():
+            task_ref[0].stop()
+
+        task_ref.append(PeriodicTask(sim, 1.0, tick, start_delay=0.25))
+        sim.run_until(2.0)
+        assert task_ref[0].ticks_fired == 1
+        assert task_ref[0].next_fire_s == pytest.approx(1.25)
+
+    def test_next_fire_after_stop_outside(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        sim.run_until(2.5)
+        task.stop()
+        assert task.next_fire_s == pytest.approx(3.0)
+
     def test_stop_outside(self):
         sim = Simulator()
         count = [0]

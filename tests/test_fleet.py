@@ -1,0 +1,320 @@
+"""The repro.fleet subsystem: specs, synthesis, runs, metrics, CLI."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import SpecError, canonical_json
+from repro.fleet import (
+    FleetSpec,
+    FleetTrialResult,
+    UserProfile,
+    build_fleet,
+    load_fleet_artifact,
+    run_fleet_trial,
+    synthesize_users,
+    write_fleet_artifact,
+)
+from repro.fleet.experiment import (
+    FLEET_MIXES,
+    fleet_campaign_spec,
+    fleet_spec_for_cell,
+    mix_names,
+)
+
+
+def small_spec(n_users=6, seed=3, duration_s=1.5, **kwargs):
+    profiles = kwargs.pop(
+        "profiles",
+        (
+            UserProfile("walkers", weight=0.7, scenario="walk",
+                        start_jitter_s=0.3),
+            UserProfile("drivers", weight=0.3, scenario="vehicular"),
+        ),
+    )
+    return FleetSpec(
+        "test-fleet", n_users=n_users, profiles=profiles, seed=seed,
+        duration_s=duration_s, **kwargs
+    )
+
+
+class TestSpecValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SpecError):
+            UserProfile("p", scenario="warp-drive")
+
+    def test_unknown_codebook_rejected(self):
+        with pytest.raises(SpecError):
+            UserProfile("p", codebook="laser")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SpecError):
+            UserProfile("p", protocol="oracel")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SpecError):
+            UserProfile("p", weight=0.0)
+
+    def test_bad_spawn_interval_rejected(self):
+        with pytest.raises(SpecError):
+            UserProfile("p", spawn_x=(10.0, 4.0))
+
+    def test_needs_users_and_profiles(self):
+        with pytest.raises(SpecError):
+            FleetSpec("f", n_users=0, profiles=(UserProfile("p"),))
+        with pytest.raises(SpecError):
+            FleetSpec("f", n_users=1, profiles=())
+
+    def test_duplicate_profile_names_rejected(self):
+        with pytest.raises(SpecError):
+            FleetSpec(
+                "f", n_users=1,
+                profiles=(UserProfile("p"), UserProfile("p", weight=2.0)),
+            )
+
+    def test_roundtrip(self):
+        spec = small_spec()
+        again = FleetSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.fleet_hash == spec.fleet_hash
+
+    def test_save_load(self, tmp_path):
+        from repro.fleet import load_spec
+
+        spec = small_spec()
+        path = tmp_path / "fleet.json"
+        spec.save(path)
+        assert load_spec(path) == spec
+
+
+class TestHashing:
+    def test_name_not_part_of_hash(self):
+        a = small_spec()
+        b = FleetSpec("other-name", n_users=a.n_users, profiles=a.profiles,
+                      seed=a.seed, duration_s=a.duration_s)
+        assert a.fleet_hash == b.fleet_hash
+
+    def test_seed_changes_hash(self):
+        assert small_spec(seed=3).fleet_hash != small_spec(seed=4).fleet_hash
+
+    def test_population_changes_hash(self):
+        assert (
+            small_spec(n_users=6).fleet_hash != small_spec(n_users=7).fleet_hash
+        )
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        assert synthesize_users(small_spec()) == synthesize_users(small_spec())
+
+    def test_user_count_and_ids(self):
+        users = synthesize_users(small_spec(n_users=12))
+        assert len(users) == 12
+        assert [u.index for u in users] == list(range(12))
+        assert len({u.user_id for u in users}) == 12
+
+    def test_user_seeds_distinct(self):
+        users = synthesize_users(small_spec(n_users=32))
+        assert len({u.seed for u in users}) == 32
+
+    def test_profiles_sampled_by_weight(self):
+        spec = small_spec(n_users=400)
+        users = synthesize_users(spec)
+        walkers = sum(1 for u in users if u.profile == "walkers")
+        assert 0.55 < walkers / len(users) < 0.85
+
+    def test_spawn_region_respected(self):
+        spec = FleetSpec(
+            "f", n_users=50,
+            profiles=(UserProfile("p", spawn_x=(8.0, 12.0)),), seed=1,
+        )
+        for user in synthesize_users(spec):
+            assert 8.0 <= user.start_x <= 12.0
+
+    def test_serving_cell_is_nearest(self):
+        spec = FleetSpec(
+            "f", n_users=40, profiles=(UserProfile("p", spawn_x=(0.0, 40.0)),),
+            seed=2,
+        )
+        for user in synthesize_users(spec):
+            if user.start_x < 10.0:
+                assert user.serving_cell == "cellA"
+            elif user.start_x > 30.0:
+                assert user.serving_cell == "cellC"
+
+    def test_jitter_within_bound(self):
+        spec = FleetSpec(
+            "f", n_users=30,
+            profiles=(UserProfile("p", start_jitter_s=0.4),), seed=5,
+        )
+        offsets = [u.start_offset_s for u in synthesize_users(spec)]
+        assert all(0.0 <= o <= 0.4 for o in offsets)
+        assert any(o > 0.0 for o in offsets)
+
+    def test_seed_changes_population(self):
+        a = synthesize_users(small_spec(seed=3))
+        b = synthesize_users(small_spec(seed=4))
+        assert [u.start_x for u in a] != [u.start_x for u in b]
+
+
+class TestBuildFleet:
+    def test_population_materialized(self):
+        run = build_fleet(small_spec())
+        assert len(run.mobiles) == 6
+        assert len(run.protocols) == 6
+        assert len(run.deployment.mobiles) == 6
+
+    def test_distinct_trajectories(self):
+        run = build_fleet(small_spec(n_users=4))
+        poses = {
+            (m.pose_at(0.5).position.x, m.pose_at(0.5).position.y)
+            for m in run.mobiles
+        }
+        assert len(poses) == 4
+
+
+class TestRunFleetTrial:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fleet_trial(small_spec(n_users=8, duration_s=2.0))
+
+    def test_one_result_per_user(self, result):
+        assert len(result.users) == 8
+        assert result.aggregates["totals"]["users"] == 8
+
+    def test_population_measured(self, result):
+        assert result.aggregates["totals"]["bursts_measured"] > 100
+        assert all(u.bursts_measured > 0 for u in result.users)
+
+    def test_summary_sections(self, result):
+        summary = result.aggregates["summary"]
+        for key in (
+            "search_latency_s",
+            "completion_time_s",
+            "handover_rate_per_min",
+            "ping_pong_rate_per_min",
+            "outage_fraction",
+        ):
+            assert "count" in summary[key]
+        assert summary["outage_fraction"]["count"] == 8
+
+    def test_cdf_sections(self, result):
+        cdf = result.aggregates["cdf"]["outage_fraction"]
+        assert cdf is not None
+        assert len(cdf["xs"]) == len(cdf["ps"]) == 8
+        assert cdf["ps"][-1] == 1.0
+
+    def test_payload_roundtrip(self, result):
+        payload = json.loads(canonical_json(result.to_dict()))
+        again = FleetTrialResult.from_dict(payload)
+        assert canonical_json(again.to_dict()) == canonical_json(result.to_dict())
+
+    def test_artifact_roundtrip(self, result, tmp_path):
+        path = write_fleet_artifact(result, tmp_path / "fleet.json")
+        again = load_fleet_artifact(path)
+        assert canonical_json(again.to_dict()) == canonical_json(result.to_dict())
+
+
+class TestExperimentKind:
+    def test_registered(self):
+        from repro.registry import EXPERIMENTS
+
+        kind = EXPERIMENTS.get("fleet")
+        assert kind.protocol_axis == "profile mix"
+        assert set(kind.default_protocols) <= set(mix_names())
+
+    def test_builtin_mixes_present(self):
+        assert {"uniform", "mobility-blend", "codebook-split"} <= set(FLEET_MIXES)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(SpecError):
+            fleet_spec_for_cell("rush-hour", scenario="walk", seed=0)
+
+    def test_mix_uses_cell_scenario(self):
+        spec = fleet_spec_for_cell("uniform", scenario="vehicular", seed=1)
+        assert spec.profiles[0].scenario == "vehicular"
+
+    def test_run_trial_envelope(self):
+        from repro.api import run_trial
+
+        result = run_trial(
+            "fleet", scenario="walk", seed=2, arm="uniform",
+            params={"n_users": 3, "duration_s": 1.0},
+        )
+        assert result.experiment == "fleet"
+        assert isinstance(result.payload, FleetTrialResult)
+        assert result.payload.aggregates["totals"]["users"] == 3
+
+    def test_campaign_grid(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+
+        spec = fleet_campaign_spec(
+            n_users=3, scenarios=("walk",), mixes=("uniform",), seeds=2,
+            duration_s=1.0,
+        )
+        result = run_campaign(spec, out_dir=tmp_path / "campaign")
+        assert len(result.payloads) == 2
+        trials = [trial for _, trial in result.trials_in_order()]
+        assert all(t.aggregates["totals"]["users"] == 3 for t in trials)
+
+    def test_campaign_summary_table(self):
+        from repro.campaign.aggregate import summarize_campaign
+        from repro.campaign.runner import run_campaign
+
+        spec = fleet_campaign_spec(
+            n_users=3, scenarios=("walk",), mixes=("uniform",), seeds=1,
+            duration_s=1.0,
+        )
+        result = run_campaign(spec)
+        headers, rows = summarize_campaign(spec, result.results_in_order())
+        assert "users" in headers
+        assert rows and rows[0][headers.index("users")] == 3
+
+
+class TestFleetCli:
+    def test_run_and_summarize(self, tmp_path, capsys):
+        from repro.cli import main
+
+        artifact = tmp_path / "fleet.json"
+        assert main([
+            "fleet", "run", "--users", "4", "--duration", "1.0",
+            "--seed", "9", "--out", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 users" in out
+        assert artifact.exists()
+        assert main(["fleet", "summarize", "--artifact", str(artifact)]) == 0
+        assert "4 users" in capsys.readouterr().out
+
+    def test_spec_file_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        small_spec(n_users=3, duration_s=1.0).save(spec_path)
+        assert main(["fleet", "run", "--spec", str(spec_path)]) == 0
+        assert "3 users" in capsys.readouterr().out
+
+    def test_unknown_mix_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["fleet", "run", "--mix", "rush-hour"]) == 2
+        assert "unknown fleet mix" in capsys.readouterr().err
+
+    def test_missing_artifact_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = str(tmp_path / "nope.json")
+        assert main(["fleet", "summarize", "--artifact", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["fleet", "run", "--spec", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_not_a_fleet_artifact_exits_2(self, tmp_path, capsys):
+        # Valid JSON that is not a fleet artifact must be an
+        # operational error, not a KeyError traceback.
+        from repro.cli import main
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}", encoding="utf-8")
+        assert main(["fleet", "summarize", "--artifact", str(bogus)]) == 2
+        assert "not a fleet artifact" in capsys.readouterr().err

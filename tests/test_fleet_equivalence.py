@@ -1,0 +1,226 @@
+"""Determinism contract of the cross-user batched burst path.
+
+Three layers of evidence, mirroring the PR 2 scalar/vectorized suite:
+
+* grid micro-equivalence — the (users x dwells) batch APIs are
+  bit-identical to stacking their per-mobile counterparts and leave
+  every RNG stream in the same state;
+* fleet-run equivalence — a fleet artifact is byte-identical across
+  ``REPRO_FLEET_PATH=scalar|batch`` and across campaign worker counts;
+* fresh-process repeatability — the same spec produces the same bytes
+  in a brand-new interpreter.
+"""
+
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import env_override
+from repro.campaign.spec import canonical_json
+from repro.fleet import FleetSpec, UserProfile, run_fleet_trial
+from repro.geometry.pose import Pose
+from repro.geometry.vectors import Vec3
+from repro.net.base_station import BaseStation
+from repro.net.deployment import Deployment, DeploymentConfig
+from repro.phy.channel import Channel, ChannelConfig
+from repro.phy.codebook import Codebook
+from repro.sim.rng import RngRegistry
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def fleet_spec(n_users=10, seed=11, duration_s=1.5):
+    return FleetSpec(
+        "equiv",
+        n_users=n_users,
+        profiles=(
+            UserProfile("walkers", weight=0.6, scenario="walk",
+                        start_jitter_s=0.2),
+            UserProfile("spinners", weight=0.25, scenario="rotation"),
+            UserProfile("drivers", weight=0.15, scenario="vehicular",
+                        codebook="wide"),
+        ),
+        seed=seed,
+        duration_s=duration_s,
+    )
+
+
+def run_with_path(mode, spec=None):
+    with env_override("REPRO_FLEET_PATH", mode):
+        return run_fleet_trial(spec or fleet_spec())
+
+
+class TestGridMicroEquivalence:
+    def test_codebook_grid_rows_bit_identical(self):
+        codebook = Codebook.uniform_azimuth(20.0)
+        azimuths = [0.0, 0.7, -2.1, math.pi]
+        grid = codebook.gains_grid_dbi(azimuths)
+        assert grid.shape == (4, len(codebook))
+        for row, azimuth in zip(grid, azimuths):
+            assert np.array_equal(row, codebook.gains_dbi(azimuth))
+
+    def test_codebook_grid_subset(self):
+        codebook = Codebook.uniform_azimuth(30.0)
+        indices = [5, 0, 3]
+        grid = codebook.gains_grid_dbi([0.3, -0.4], indices)
+        for row, azimuth in zip(grid, [0.3, -0.4]):
+            assert np.array_equal(row, codebook.gains_dbi(azimuth, indices))
+
+    def test_station_grid_rows_bit_identical(self):
+        station = BaseStation(
+            "cellA", Pose(Vec3(0.0, 10.0), heading=-math.pi / 2.0),
+            Codebook.uniform_azimuth(20.0),
+        )
+        bearings = [-0.5, 0.0, 1.2]
+        grid = station.tx_gains_grid_dbi(bearings)
+        for row, bearing in zip(grid, bearings):
+            assert np.array_equal(row, station.tx_gains_dbi(bearing))
+
+    def test_channel_grid_bit_identical_and_stream_equivalent(self):
+        def make_channel():
+            return Channel(ChannelConfig(), RngRegistry(5))
+
+        tx_pose = Pose(Vec3(0.0, 10.0))
+        poses = [Pose(Vec3(4.0 + k, 0.0), heading=0.1 * k) for k in range(3)]
+        links = [f"cellA|ue{k}" for k in range(3)]
+        tx_gains = np.linspace(-5.0, 12.0, 18)
+        grid_channel = make_channel()
+        grid = grid_channel.burst_rss_grid_dbm(
+            links, 0.25, tx_pose, poses,
+            np.tile(tx_gains, (3, 1)), np.array([1.0, 2.0, 3.0]), 0.0,
+        )
+        loop_channel = make_channel()
+        for u, (link, pose, rx_gain) in enumerate(
+            zip(links, poses, [1.0, 2.0, 3.0])
+        ):
+            row = loop_channel.burst_rss_dbm(
+                link, 0.25, tx_pose, pose, tx_gains, rx_gain, 0.0
+            )
+            assert np.array_equal(grid[u], row)
+        # Both channels drew identically from every stream.
+        for name in loop_channel._rng_registry.stream_names():
+            assert (
+                grid_channel._rng_registry.stream(name).bit_generator.state
+                == loop_channel._rng_registry.stream(name).bit_generator.state
+            )
+
+    def test_link_engine_batch_matches_scalar_loop(self):
+        def make_deployment():
+            deployment = Deployment(DeploymentConfig(master_seed=9))
+            station = deployment.add_station(
+                BaseStation(
+                    "cellA", Pose(Vec3(0.0, 10.0), heading=-math.pi / 2.0),
+                    Codebook.uniform_azimuth(20.0), tx_power_dbm=0.0,
+                )
+            )
+            return deployment, station
+
+        rx_codebook = Codebook.uniform_azimuth(20.0)
+        poses = [Pose(Vec3(6.0 + 2.0 * k, 0.0), heading=0.2 * k) for k in range(4)]
+        requests = [
+            (
+                f"ue{k}",
+                poses[k],
+                lambda beam, az, p=poses[k]: rx_codebook.gain_dbi(
+                    beam, p.world_to_body(az)
+                ),
+                k % len(rx_codebook),
+            )
+            for k in range(4)
+        ]
+        batch_dep, batch_station = make_deployment()
+        batched = batch_dep.links.measure_burst_batch(
+            batch_station, requests, 0.1
+        )
+        loop_dep, loop_station = make_deployment()
+        looped = [
+            loop_dep.links.measure_burst(
+                loop_station, mobile_id, pose, gain_fn, rx_beam, 0.1
+            )
+            for mobile_id, pose, gain_fn, rx_beam in requests
+        ]
+        assert batched == looped
+
+    def test_empty_request_list(self):
+        deployment = Deployment(DeploymentConfig(master_seed=1))
+        station = deployment.add_station(
+            BaseStation("cellA", Pose(Vec3(0.0, 10.0)),
+                        Codebook.uniform_azimuth(30.0))
+        )
+        assert deployment.links.measure_burst_batch(station, [], 0.0) == []
+
+
+class TestFleetPathEquivalence:
+    def test_scalar_and_batch_artifacts_byte_identical(self):
+        scalar = canonical_json(run_with_path("scalar").to_dict())
+        batch = canonical_json(run_with_path("batch").to_dict())
+        assert scalar == batch
+
+    def test_env_var_controls_deployment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_PATH", "scalar")
+        assert Deployment().fleet_batch is False
+        monkeypatch.setenv("REPRO_FLEET_PATH", "batch")
+        assert Deployment().fleet_batch is True
+        monkeypatch.delenv("REPRO_FLEET_PATH")
+        assert Deployment().fleet_batch is True
+
+    def test_repeat_in_process_identical(self):
+        first = canonical_json(run_fleet_trial(fleet_spec()).to_dict())
+        second = canonical_json(run_fleet_trial(fleet_spec()).to_dict())
+        assert first == second
+
+
+class TestCampaignWorkerEquivalence:
+    def test_worker_counts_byte_identical(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+        from repro.fleet.experiment import fleet_campaign_spec
+
+        spec = fleet_campaign_spec(
+            n_users=4, scenarios=("walk",), mixes=("uniform", "mobility-blend"),
+            seeds=2, duration_s=1.0,
+        )
+        cell_bytes = {}
+        for workers in (1, 2):
+            out = tmp_path / f"w{workers}"
+            run_campaign(spec, out_dir=out, workers=workers)
+            cells = sorted((out / "cells").glob("*.json"))
+            assert len(cells) == spec.n_cells
+            cell_bytes[workers] = {p.name: p.read_bytes() for p in cells}
+        assert cell_bytes[1] == cell_bytes[2]
+
+
+class TestFreshProcessRepeat:
+    def test_cli_artifact_byte_identical_across_processes(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        artifacts = []
+        for run in range(2):
+            out = tmp_path / f"fleet-{run}.json"
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "fleet", "run",
+                    "--users", "4", "--duration", "1.0", "--seed", "21",
+                    "--out", str(out),
+                ],
+                env=env, capture_output=True, text=True,
+            )
+            assert result.returncode == 0, result.stderr
+            artifacts.append(out.read_bytes())
+        assert artifacts[0] == artifacts[1]
+        # And the in-process runner agrees with the subprocess bytes.
+        from repro.fleet.experiment import fleet_spec_for_cell
+
+        spec = fleet_spec_for_cell(
+            "uniform", scenario="walk", seed=21, n_users=4, duration_s=1.0,
+            name="fleet",
+        )
+        in_process = canonical_json(run_fleet_trial(spec).to_dict()) + "\n"
+        assert in_process.encode("utf-8") == artifacts[0]

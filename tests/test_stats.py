@@ -50,6 +50,59 @@ class TestSummarize:
         assert summary["p10"] <= summary["p50"] <= summary["p90"]
 
 
+class TestVectorizedInputs:
+    """The CDF/summary helpers accept numpy arrays and stay exact."""
+
+    def test_empirical_cdf_accepts_arrays(self):
+        import numpy as np
+
+        xs, ps = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert xs == [1.0, 2.0, 3.0]
+        assert ps == [1 / 3, 2 / 3, 1.0]
+        assert isinstance(xs, list) and isinstance(ps, list)
+
+    def test_cdf_at_accepts_arrays(self):
+        import numpy as np
+
+        assert cdf_at(np.arange(10.0), 4.5) == 0.5
+
+    def test_summarize_accepts_arrays(self):
+        import numpy as np
+
+        assert summarize(np.array([1.0, 2.0, 3.0])) == summarize([1.0, 2.0, 3.0])
+
+    def test_quantiles_match_list_reference(self):
+        import numpy as np
+
+        from repro.util.numerics import quantile
+
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=997)
+        summary = summarize(values)
+        ordered = sorted(values.tolist())
+        for key, q in (("p10", 0.10), ("p50", 0.50), ("p90", 0.90)):
+            assert summary[key] == quantile(ordered, q)
+
+    def test_population_scale_sample(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        values = rng.exponential(size=200_000)
+        xs, ps = empirical_cdf(values)
+        assert len(xs) == 200_000
+        assert ps[-1] == 1.0
+        assert 0.0 < cdf_at(values, 1.0) < 1.0
+        summary = summarize(values)
+        assert summary["count"] == 200_000
+        assert summary["p10"] <= summary["p50"] <= summary["p90"]
+
+    def test_rejects_multidimensional(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            summarize(np.zeros((3, 3)))
+
+
 class TestConfidenceIntervals:
     def test_mean_ci_contains_mean(self):
         mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
