@@ -1,0 +1,12 @@
+"""Repo-root pytest configuration: make ``src/`` importable.
+
+Lets a plain ``pytest`` invocation (no ``PYTHONPATH=src``) collect and
+run everything, including ``benchmarks/``, from any working directory.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -13,6 +13,7 @@ summaries, one canonical JSON artifact per suite.
 """
 
 from repro.bench.fleet_suite import run_fleet_bench
+from repro.bench.obs_gate import run_overhead_gate
 from repro.bench.harness import (
     BenchError,
     CaseComparison,
@@ -38,6 +39,7 @@ __all__ = [
     "regressions",
     "run_bench",
     "run_fleet_bench",
+    "run_overhead_gate",
     "time_fn",
     "write_bench_json",
 ]

@@ -233,15 +233,19 @@ def _bench_fig2a_search(
 def _bench_fig2a_burst_heavy(
     results: List[TimingResult], repeats: int, warmup: int, duration_s: float
 ) -> None:
+    from repro.obs import telemetry as _telemetry
+
     beamwidth_deg = 10.0  # 36 SSB per burst: dense FR2-style sweep
 
-    def run(mode: str) -> None:
+    def run(mode: str, telemetry: bool = False) -> None:
+        hub = _telemetry.Telemetry() if telemetry else _telemetry.DISABLED
         with burst_path(mode):
-            with _burst_heavy_session(1, beamwidth_deg) as session:
-                session.attach_listener(
-                    _SweepListener(len(session.mobile.codebook))
-                )
-                session.run(duration_s)
+            with _telemetry.use(hub):
+                with _burst_heavy_session(1, beamwidth_deg) as session:
+                    session.attach_listener(
+                        _SweepListener(len(session.mobile.codebook))
+                    )
+                    session.run(duration_s)
 
     meta = {
         "scenario": "walk",
@@ -261,6 +265,17 @@ def _bench_fig2a_burst_heavy(
             repeats,
             warmup,
             meta,
+        )
+    )
+    # Same workload with telemetry *enabled*: derived.telemetry_overhead
+    # tracks what span/counter collection costs on the hottest macro.
+    results.append(
+        time_fn(
+            "fig2a.burst_heavy.telemetry",
+            lambda: run("vectorized", telemetry=True),
+            repeats,
+            warmup,
+            {**meta, "telemetry": True},
         )
     )
 
@@ -341,6 +356,15 @@ def run_bench(
         "results": results_payload(results),
         "derived": {
             "speedups": derived,
+            # Enabled-telemetry slowdown on the burst-heavy macro
+            # (1.0 = free); the *disabled* cost is gated separately by
+            # `repro obs gate` against the committed baseline.
+            "telemetry_overhead": {
+                "fig2a.burst_heavy": (
+                    by_name["fig2a.burst_heavy.telemetry"].median_s
+                    / by_name["fig2a.burst_heavy.vectorized"].median_s
+                ),
+            },
             "artifacts_identical": _check_artifact_identity(
                 n_seeds=2 if quick else 4
             ),

@@ -31,8 +31,13 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 from repro.campaign.progress import NullProgress, ProgressReporter
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ArtifactStore
+from repro.obs import telemetry as _telemetry
+from repro.obs.log import get_logger
+from repro.obs.report import merge_summaries
 
 PathLike = Union[str, Path]
+
+_log = get_logger("campaign")
 
 
 class CampaignError(RuntimeError):
@@ -67,21 +72,32 @@ def decode_payload(experiment: str, payload: dict):
     return EXPERIMENTS.get(experiment).decode(payload)
 
 
-def _execute_cell_task(record: dict) -> Tuple[str, Optional[dict], Optional[str], float]:
-    """Pool task: ``(cell_id, payload | None, error | None, elapsed_s)``.
+def _execute_cell_task(
+    task: Tuple[dict, bool],
+) -> Tuple[str, Optional[dict], Optional[str], float, Optional[dict]]:
+    """Pool task: ``(cell_id, payload|None, error|None, elapsed_s, telemetry)``.
 
     ``error`` is the full traceback text: the exception object itself
     cannot cross the pool pipe reliably, but the caller still needs to
     see *where* a trial crashed, not just the exception type.
+
+    The telemetry flag rides in the task tuple (not a process global)
+    because spawn-context workers do not inherit the driver's ambient
+    hub; each task activates a fresh per-cell hub so the summary that
+    crosses the pipe covers exactly one cell.
     """
+    record, telemetry_enabled = task
     cell = CampaignCell.from_dict(record)
     started = time.monotonic()
+    hub = _telemetry.Telemetry() if telemetry_enabled else _telemetry.DISABLED
     try:
-        payload = execute_cell(cell)
-        return record["cell_id"], payload, None, time.monotonic() - started
+        with _telemetry.use(hub):
+            payload = execute_cell(cell)
+        summary = hub.summary() if telemetry_enabled else None
+        return record["cell_id"], payload, None, time.monotonic() - started, summary
     except Exception:  # collected, reported, retried on resume
         message = traceback.format_exc()
-        return record["cell_id"], None, message, time.monotonic() - started
+        return record["cell_id"], None, message, time.monotonic() - started, None
 
 
 # -------------------------------------------------------------------- driver
@@ -95,10 +111,21 @@ class CampaignResult:
     skipped: int = 0
     failures: Dict[str, str] = field(default_factory=dict)
     out_dir: Optional[Path] = None
+    #: Per-cell wall-clock telemetry summaries (``--telemetry`` runs
+    #: only).  Kept out of ``payloads`` so artifacts stay deterministic.
+    telemetry: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def total_cells(self) -> int:
         return self.spec.n_cells
+
+    def merged_telemetry(self) -> Optional[dict]:
+        """All per-cell summaries folded into one, or ``None`` if none."""
+        if not self.telemetry:
+            return None
+        return merge_summaries(
+            self.telemetry[cell_id] for cell_id in sorted(self.telemetry)
+        )
 
     def results_in_order(self) -> Iterator[Tuple[CampaignCell, dict]]:
         """Completed ``(cell, payload)`` pairs in grid order."""
@@ -125,6 +152,7 @@ def run_campaign(
     resume: bool = True,
     progress: Optional[ProgressReporter] = None,
     mp_context: Optional[str] = None,
+    telemetry: bool = False,
 ) -> CampaignResult:
     """Execute a campaign, optionally persisting and resuming artifacts.
 
@@ -145,6 +173,11 @@ def run_campaign(
     mp_context:
         Multiprocessing start method override (``fork`` / ``spawn`` /
         ``forkserver``); default prefers ``fork`` where available.
+    telemetry:
+        Collect per-cell wall-clock telemetry.  Summaries land on
+        :attr:`CampaignResult.telemetry` and (with ``out_dir``) as
+        sidecars under ``<out>/telemetry/``; cell artifacts are
+        byte-identical either way.
     """
     if workers < 1:
         raise CampaignError(f"workers must be >= 1, got {workers!r}")
@@ -164,13 +197,27 @@ def run_campaign(
     result.skipped = len(done_ids)
     reporter.on_start(len(cells), len(done_ids))
     started = time.monotonic()
+    _log.info(
+        "campaign %r: %d cells (%d already done), workers=%d, telemetry=%s",
+        spec.name, len(cells), len(done_ids), workers, telemetry,
+    )
 
     for cell_id in done_ids:
         _, payload = store.load_cell(cell_id)
         result.payloads[cell_id] = payload
+        if telemetry:
+            # A skipped cell keeps the telemetry its original run left
+            # behind (if any) so the merged view still covers it.
+            stored = store.load_cell_telemetry(cell_id)
+            if stored is not None:
+                result.telemetry[cell_id] = stored
 
     def record_outcome(
-        cell_id: str, payload: Optional[dict], error: Optional[str], elapsed: float
+        cell_id: str,
+        payload: Optional[dict],
+        error: Optional[str],
+        elapsed: float,
+        summary: Optional[dict],
     ) -> None:
         cell = by_id[cell_id]
         if error is not None:
@@ -179,18 +226,22 @@ def run_campaign(
             result.payloads[cell_id] = payload
             if store is not None:
                 store.write_cell(cell, payload)
+            if summary is not None:
+                result.telemetry[cell_id] = summary
+                if store is not None:
+                    store.write_cell_telemetry(cell_id, summary)
         result.executed += 1
         reporter.on_cell_done(cell, error is None, elapsed)
 
     if pending:
+        tasks = [(cell.to_dict(), telemetry) for cell in pending]
         if workers <= 1 or len(pending) == 1:
-            for cell in pending:
-                record_outcome(*_execute_cell_task(cell.to_dict()))
+            for task in tasks:
+                record_outcome(*_execute_cell_task(task))
         else:
             ctx = multiprocessing.get_context(mp_context) if mp_context else _default_context()
             pool_size = min(workers, len(pending))
             with ctx.Pool(processes=pool_size) as pool:
-                tasks = [cell.to_dict() for cell in pending]
                 for outcome in pool.imap_unordered(
                     _execute_cell_task, tasks, chunksize=1
                 ):
@@ -223,6 +274,7 @@ def resume_campaign(
     workers: int = 1,
     progress: Optional[ProgressReporter] = None,
     mp_context: Optional[str] = None,
+    telemetry: bool = False,
 ) -> CampaignResult:
     """Resume the campaign recorded in ``out_dir``'s manifest."""
     spec = ArtifactStore(out_dir).load_spec()
@@ -233,4 +285,5 @@ def resume_campaign(
         resume=True,
         progress=progress,
         mp_context=mp_context,
+        telemetry=telemetry,
     )

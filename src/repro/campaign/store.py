@@ -2,8 +2,15 @@
 
 Layout under the campaign output directory::
 
-    <root>/manifest.json          # spec + expanded cell index
-    <root>/cells/<cell_id>.json   # {"cell": {...}, "payload": {...}}
+    <root>/manifest.json            # spec + expanded cell index
+    <root>/cells/<cell_id>.json     # {"cell": {...}, "payload": {...}}
+    <root>/telemetry/<cell_id>.json # wall-clock telemetry (sidecar, optional)
+
+Telemetry summaries live *outside* ``cells/`` on purpose: cell
+artifacts are deterministic (byte-identical across runs and worker
+counts) while telemetry is wall-clock and inherently not, and
+:meth:`ArtifactStore.completed_ids` must never mistake a telemetry
+sidecar for a finished cell.
 
 Design rules:
 
@@ -32,6 +39,7 @@ PathLike = Union[str, Path]
 
 MANIFEST_NAME = "manifest.json"
 CELL_DIR_NAME = "cells"
+TELEMETRY_DIR_NAME = "telemetry"
 STORE_FORMAT = 1
 
 
@@ -51,6 +59,7 @@ class ArtifactStore:
     def __init__(self, root: PathLike) -> None:
         self._root = Path(root)
         self._cell_dir = self._root / CELL_DIR_NAME
+        self._telemetry_dir = self._root / TELEMETRY_DIR_NAME
 
     @property
     def root(self) -> Path:
@@ -169,6 +178,31 @@ class ArtifactStore:
         except json.JSONDecodeError as error:
             raise StoreError(f"{path}: malformed artifact: {error}") from error
         return CampaignCell.from_dict(record["cell"]), record["payload"]
+
+    # --------------------------------------------------------------- telemetry
+    def telemetry_path(self, cell_id: str) -> Path:
+        return self._telemetry_dir / f"{cell_id}.json"
+
+    def write_cell_telemetry(self, cell_id: str, summary: dict) -> Path:
+        """Persist one cell's wall-clock telemetry summary (sidecar).
+
+        Sidecars are advisory: they never participate in resume
+        decisions or the byte-identity contract, so a missing or stale
+        one is harmless.
+        """
+        self._telemetry_dir.mkdir(parents=True, exist_ok=True)
+        path = self.telemetry_path(cell_id)
+        _atomic_write_text(path, canonical_json(summary) + "\n")
+        return path
+
+    def load_cell_telemetry(self, cell_id: str) -> Optional[dict]:
+        """One cell's telemetry summary, or ``None`` when absent/corrupt."""
+        path = self.telemetry_path(cell_id)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        return record if isinstance(record, dict) else None
 
     def iter_results(self) -> Iterator[Tuple[CampaignCell, dict]]:
         """All completed ``(cell, payload)`` pairs, in manifest order."""

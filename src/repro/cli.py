@@ -19,6 +19,16 @@ Commands
                 ``--suite fleet`` (users-vs-wall-time scaling ->
                 ``BENCH_fleet.json``); ``--compare`` gates medians
                 against a committed baseline.
+``obs``         observability: ``export`` (Chrome trace JSON for
+                Perfetto), ``top`` (hottest spans of a telemetry
+                artifact), ``diff`` (compare two runs), ``gate``
+                (disabled-telemetry overhead vs a bench baseline).
+
+``--log-level`` / ``-v`` (global, before the command) control stdlib
+logging on the ``repro`` logger; ``--telemetry`` on ``campaign run`` /
+``campaign resume`` / ``fleet run`` collects wall-clock span/counter
+summaries as sidecar artifacts without touching the deterministic
+outputs.
 
 Unknown protocol / scenario / codebook / experiment names exit with
 status 2 and a message listing the registered choices.
@@ -37,6 +47,7 @@ from repro.bench.harness import BenchError
 from repro.campaign.runner import CampaignError
 from repro.campaign.spec import SpecError
 from repro.campaign.store import StoreError
+from repro.obs import ObsError, configure_logging
 from repro.registry import (
     CODEBOOKS,
     EXPERIMENTS,
@@ -304,6 +315,34 @@ def _campaign_spec_from_args(args: argparse.Namespace):
     )
 
 
+def _print_telemetry_top(summary, limit: int = 10) -> None:
+    from repro.obs import top_rows
+
+    headers, rows = top_rows(summary, limit)
+    print(format_table(headers, rows, title="hottest telemetry spans"))
+
+
+def _fold_in_sidecar(artifact) -> None:
+    """Fold a telemetry sidecar into a summarize view when one exists.
+
+    ``artifact`` is a fleet artifact path (sidecar rides next to it) or
+    a campaign out dir (sidecars live under ``<out>/telemetry/``).
+    Runs without ``--telemetry`` leave no sidecar; stay silent then.
+    """
+    from pathlib import Path
+
+    from repro.obs import ObsError, load_telemetry, sidecar_path
+
+    path = Path(artifact)
+    source = path if path.is_dir() else sidecar_path(path)
+    try:
+        summary = load_telemetry(source)
+    except ObsError:
+        return
+    print(f"telemetry sidecar: {source}")
+    _print_telemetry_top(summary)
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaign.progress import ConsoleProgress
     from repro.campaign.runner import run_campaign
@@ -315,12 +354,18 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         resume=not args.no_resume,
         progress=None if args.quiet else ConsoleProgress(),
+        telemetry=args.telemetry,
     )
     _print_campaign_summary(
         spec, result.results_in_order(), len(result.payloads)
     )
     if args.out:
         print(f"artifacts in {result.out_dir}")
+    merged = result.merged_telemetry()
+    if merged is not None:
+        _print_telemetry_top(merged)
+        if args.out:
+            print(f"telemetry sidecars in {result.out_dir}/telemetry")
     return 0
 
 
@@ -332,10 +377,14 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
         args.out,
         workers=args.workers,
         progress=None if args.quiet else ConsoleProgress(),
+        telemetry=args.telemetry,
     )
     _print_campaign_summary(
         result.spec, result.results_in_order(), len(result.payloads)
     )
+    merged = result.merged_telemetry()
+    if merged is not None:
+        _print_telemetry_top(merged)
     return 0
 
 
@@ -344,6 +393,7 @@ def _cmd_campaign_summarize(args: argparse.Namespace) -> int:
 
     spec, pairs = load_campaign(args.out)
     _print_campaign_summary(spec, pairs, len(pairs))
+    _fold_in_sidecar(args.out)
     return 0
 
 
@@ -433,6 +483,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"speedup @{pair} users: {detail}")
         else:
             print(f"speedup {pair}: {factor:.2f}x")
+    for case, factor in derived.get("telemetry_overhead", {}).items():
+        print(f"telemetry overhead {case}: {factor:.2f}x")
     print(f"artifacts identical across paths: {derived['artifacts_identical']}")
     if out:
         print(f"wrote {out}")
@@ -536,16 +588,31 @@ def _fleet_spec_from_args(args: argparse.Namespace):
 
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
-    from repro.fleet import run_fleet_trial, write_fleet_artifact
+    from repro.fleet import (
+        ConsoleFleetProgress,
+        run_fleet_trial,
+        write_fleet_artifact,
+    )
+    from repro.obs import Telemetry, sidecar_path, use, write_telemetry
+    from repro.obs import telemetry as telemetry_mod
 
     spec = _fleet_spec_from_args(args)
-    result = run_fleet_trial(spec)
+    progress = None if args.quiet else ConsoleFleetProgress()
+    hub = Telemetry() if args.telemetry else telemetry_mod.DISABLED
+    with use(hub):
+        result = run_fleet_trial(spec, progress)
     _print_fleet_summary(result)
     if args.cdf:
         _print_fleet_cdfs(result)
     if args.out:
         path = write_fleet_artifact(result, args.out)
         print(f"wrote {path}")
+    if args.telemetry:
+        summary = hub.summary()
+        _print_telemetry_top(summary)
+        if args.out:
+            side = write_telemetry(summary, sidecar_path(args.out))
+            print(f"wrote {side}")
     return 0
 
 
@@ -556,13 +623,123 @@ def _cmd_fleet_summarize(args: argparse.Namespace) -> int:
     _print_fleet_summary(result, source=args.artifact)
     if args.cdf:
         _print_fleet_cdfs(result)
+    _fold_in_sidecar(args.artifact)
     return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Run a small fleet with span recording on; export a Chrome trace.
+
+    Span intervals and simulated-time trace events only exist in a live
+    run, so export *is* a run: the same flags as ``fleet run`` shape the
+    workload, and the output opens directly in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing``.
+    """
+    from repro.fleet import build_fleet, run_built_fleet
+    from repro.obs import Telemetry, use, write_chrome_trace
+
+    spec = _fleet_spec_from_args(args)
+    hub = Telemetry(record_events=True, max_events=args.max_events)
+    with use(hub):
+        run = build_fleet(spec)
+        run_built_fleet(run)
+    path = write_chrome_trace(args.out, hub, run.deployment.trace)
+    summary = hub.summary()
+    n_spans = sum(int(r["count"]) for r in summary["spans"].values())
+    dropped = summary.get("dropped_events", 0)
+    note = f" ({dropped} span events dropped at cap)" if dropped else ""
+    print(f"wrote {path}: {n_spans} spans, "
+          f"{len(run.deployment.trace.events)} trace events{note}")
+    print("open in Perfetto (ui.perfetto.dev) or chrome://tracing")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from repro.obs import counter_rows, load_telemetry, top_rows
+
+    summary = load_telemetry(args.path)
+    headers, rows = top_rows(summary, args.limit)
+    print(format_table(headers, rows, title=f"hottest spans [{args.path}]"))
+    if args.counters:
+        headers, rows = counter_rows(summary, args.limit)
+        print()
+        print(format_table(headers, rows, title="counters"))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_rows, load_telemetry
+
+    summary_a = load_telemetry(args.a)
+    summary_b = load_telemetry(args.b)
+    headers, rows = diff_rows(summary_a, summary_b, args.limit)
+    print(
+        format_table(
+            headers, rows, title=f"telemetry diff: A={args.a} B={args.b}"
+        )
+    )
+    return 0
+
+
+def _cmd_obs_gate(args: argparse.Namespace) -> int:
+    from repro.bench import run_overhead_gate
+
+    record = run_overhead_gate(
+        args.baseline,
+        tolerance=args.tolerance,
+        repeats=args.repeats,
+    )
+    print(
+        f"{record['case']}: baseline "
+        f"{1000.0 * record['baseline_median_s']:.1f} ms, "
+        f"disabled-telemetry {1000.0 * record['current_median_s']:.1f} ms "
+        f"({record['ratio']:.3f}x, tolerance "
+        f"+{100.0 * record['tolerance']:.0f}%)"
+    )
+    if record["passed"]:
+        print("overhead gate passed")
+        return 0
+    print(
+        "OVERHEAD REGRESSION: disabled telemetry slowed the macro beyond "
+        "tolerance",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _add_fleet_shape_args(parser: argparse.ArgumentParser) -> None:
+    """The flags that define a fleet workload (shared with ``obs export``)."""
+    parser.add_argument("--spec", default=None,
+                        help="FleetSpec JSON file (overrides the flags)")
+    parser.add_argument("--name", default="fleet")
+    parser.add_argument("--users", type=int, default=16,
+                        help="population size")
+    parser.add_argument("--scenario", default="walk",
+                        help="base mobility scenario "
+                             "(see `repro list scenarios`)")
+    parser.add_argument("--mix", default="uniform",
+                        help="profile mix: uniform, mobility-blend, "
+                             "codebook-split")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="simulated seconds")
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Silent Tracker (SIGCOMM '21) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="stdlib logging level for the 'repro' logger "
+             "(default warning)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v info, -vv debug); "
+             "--log-level wins when both are given",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -657,6 +834,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="re-run cells even when artifacts exist")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-cell progress lines")
+    run.add_argument("--telemetry", action="store_true",
+                     help="collect per-cell wall-clock telemetry "
+                          "(sidecars under <out>/telemetry/; cell "
+                          "artifacts stay byte-identical)")
     run.set_defaults(func=_cmd_campaign_run)
 
     resume = campaign_sub.add_parser(
@@ -666,6 +847,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact directory with a campaign manifest")
     resume.add_argument("--workers", type=int, default=1)
     resume.add_argument("--quiet", action="store_true")
+    resume.add_argument("--telemetry", action="store_true",
+                        help="collect per-cell wall-clock telemetry")
     resume.set_defaults(func=_cmd_campaign_resume)
 
     summarize_cmd = campaign_sub.add_parser(
@@ -683,24 +866,17 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
 
     fleet_run = fleet_sub.add_parser("run", help="run one fleet")
-    fleet_run.add_argument("--spec", default=None,
-                           help="FleetSpec JSON file (overrides the flags)")
-    fleet_run.add_argument("--name", default="fleet")
-    fleet_run.add_argument("--users", type=int, default=16,
-                           help="population size")
-    fleet_run.add_argument("--scenario", default="walk",
-                           help="base mobility scenario "
-                                "(see `repro list scenarios`)")
-    fleet_run.add_argument("--mix", default="uniform",
-                           help="profile mix: uniform, mobility-blend, "
-                                "codebook-split")
-    fleet_run.add_argument("--duration", type=float, default=4.0,
-                           help="simulated seconds")
-    fleet_run.add_argument("--seed", type=int, default=0)
+    _add_fleet_shape_args(fleet_run)
     fleet_run.add_argument("--out", default=None,
                            help="write the canonical JSON artifact here")
     fleet_run.add_argument("--cdf", action="store_true",
                            help="print the fleet CDF plots too")
+    fleet_run.add_argument("--quiet", action="store_true",
+                           help="suppress build/run progress lines")
+    fleet_run.add_argument("--telemetry", action="store_true",
+                           help="collect wall-clock telemetry "
+                                "(<out stem>.telemetry.json sidecar; the "
+                                "artifact stays byte-identical)")
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
     fleet_sum = fleet_sub.add_parser(
@@ -732,17 +908,74 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed median slowdown before a case counts "
                             "as regressed (0.20 = +20%%)")
     bench.set_defaults(func=_cmd_bench)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability: Chrome trace export, span rankings, "
+             "run diffs, overhead gate",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="run a fleet with span recording and write Chrome "
+             "trace-event JSON (Perfetto / chrome://tracing)",
+    )
+    _add_fleet_shape_args(obs_export)
+    obs_export.add_argument("--out", default="trace.json",
+                            help="trace-event JSON output path")
+    obs_export.add_argument("--max-events", type=int, default=200_000,
+                            help="span-interval recording cap "
+                                 "(excess intervals are dropped, "
+                                 "aggregates stay exact)")
+    obs_export.set_defaults(func=_cmd_obs_export)
+
+    obs_top = obs_sub.add_parser(
+        "top", help="hottest spans of a telemetry artifact"
+    )
+    obs_top.add_argument("path",
+                         help="telemetry summary JSON, or a campaign "
+                              "directory (per-cell summaries merged)")
+    obs_top.add_argument("--limit", type=int, default=15,
+                         help="rows to show")
+    obs_top.add_argument("--counters", action="store_true",
+                         help="print the counter table too")
+    obs_top.set_defaults(func=_cmd_obs_top)
+
+    obs_diff = obs_sub.add_parser(
+        "diff", help="span-by-span comparison of two telemetry artifacts"
+    )
+    obs_diff.add_argument("a", help="baseline telemetry artifact (A)")
+    obs_diff.add_argument("b", help="candidate telemetry artifact (B)")
+    obs_diff.add_argument("--limit", type=int, default=None,
+                          help="rows to show (default all)")
+    obs_diff.set_defaults(func=_cmd_obs_diff)
+
+    obs_gate = obs_sub.add_parser(
+        "gate",
+        help="fail when disabled telemetry slows the burst-heavy macro "
+             "beyond tolerance vs a committed bench baseline",
+    )
+    obs_gate.add_argument("--baseline", default="BENCH_phy.json",
+                          help="committed bench artifact to gate against")
+    obs_gate.add_argument("--tolerance", type=float, default=0.02,
+                          help="allowed median slowdown (0.02 = +2%%)")
+    obs_gate.add_argument("--repeats", type=int, default=None,
+                          help="override samples (default: baseline's)")
+    obs_gate.set_defaults(func=_cmd_obs_gate)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, verbosity=args.verbose)
     try:
         return args.func(args)
     except (
         BenchError,
         CampaignError,
+        ObsError,
         RegistryError,
         SpecError,
         StoreError,

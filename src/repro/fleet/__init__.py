@@ -23,11 +23,13 @@ and :func:`repro.api.run_trial`.
 """
 
 from repro.fleet.metrics import FleetUserResult, aggregate_users, user_result
+from repro.fleet.progress import ConsoleFleetProgress, FleetProgress
 from repro.fleet.runner import (
     FleetRun,
     FleetTrialResult,
     build_fleet,
     load_fleet_artifact,
+    run_built_fleet,
     run_fleet_trial,
     write_fleet_artifact,
 )
@@ -40,6 +42,8 @@ from repro.fleet.spec import (
 )
 
 __all__ = [
+    "ConsoleFleetProgress",
+    "FleetProgress",
     "FleetRun",
     "FleetSpec",
     "FleetTrialResult",
@@ -50,6 +54,7 @@ __all__ = [
     "build_fleet",
     "load_fleet_artifact",
     "load_spec",
+    "run_built_fleet",
     "run_fleet_trial",
     "synthesize_users",
     "user_result",

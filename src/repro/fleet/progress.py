@@ -1,0 +1,81 @@
+"""Fleet progress reporting (mirrors :mod:`repro.campaign.progress`).
+
+The fleet runner is headless; ``repro fleet run`` installs
+:class:`ConsoleFleetProgress` so a long population run shows per-user
+build progress and a simulated-time ETA instead of running silently.
+Library callers default to :class:`FleetProgress` (silence), and tests
+install recording reporters to assert on the hook sequence.
+
+Installing a reporter never changes results: the run phase advances the
+simulated clock in slices between :meth:`FleetProgress.on_run` calls,
+and slicing ``run_until`` is event-for-event identical to one call (the
+equivalence suite pins this byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+
+class FleetProgress:
+    """No-op base class; override any subset of the hooks."""
+
+    def on_build(self, built: int, total: int) -> None:
+        """One user materialized (trajectory + codebook + protocol)."""
+
+    def on_start(self, users: int, duration_s: float) -> None:
+        """Population built; the simulated run begins."""
+
+    def on_run(self, sim_now_s: float, duration_s: float) -> None:
+        """The simulated clock reached ``sim_now_s`` of ``duration_s``."""
+
+    def on_finish(self, users: int, elapsed_s: float) -> None:
+        """Run complete (``elapsed_s`` is wall-clock)."""
+
+
+#: Library default: silence.
+NullFleetProgress = FleetProgress
+
+
+class ConsoleFleetProgress(FleetProgress):
+    """Build counter plus run-phase percentage with a wall-clock ETA."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._started_at = 0.0
+        self._last_build_line = 0
+
+    def on_build(self, built: int, total: int) -> None:
+        # Cap the build chatter at ~10 lines regardless of fleet size.
+        step = max(1, total // 10)
+        if built == total or built - self._last_build_line >= step:
+            self._last_build_line = built
+            print(f"fleet: built {built}/{total} users", file=self._stream)
+
+    def on_start(self, users: int, duration_s: float) -> None:
+        self._started_at = time.monotonic()
+        print(
+            f"fleet: running {users} users for {duration_s:g}s simulated",
+            file=self._stream,
+        )
+
+    def on_run(self, sim_now_s: float, duration_s: float) -> None:
+        if duration_s <= 0.0:
+            return
+        fraction = min(1.0, sim_now_s / duration_s)
+        elapsed = time.monotonic() - self._started_at
+        eta = elapsed * (1.0 - fraction) / fraction if fraction > 0.0 else None
+        eta_text = f", eta {eta:.0f}s" if eta is not None and eta > 0.05 else ""
+        print(
+            f"fleet: t={sim_now_s:.2f}/{duration_s:g}s "
+            f"({100.0 * fraction:.0f}%{eta_text})",
+            file=self._stream,
+        )
+
+    def on_finish(self, users: int, elapsed_s: float) -> None:
+        print(
+            f"fleet: {users} users done in {elapsed_s:.1f}s wall",
+            file=self._stream,
+        )

@@ -15,6 +15,7 @@ both paths produce byte-identical artifacts for the same spec.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Mapping, Optional, Union
@@ -23,12 +24,22 @@ import numpy as np
 
 from repro.campaign.spec import SpecError, build_config, canonical_json
 from repro.fleet.metrics import FleetUserResult, aggregate_users, user_result
+from repro.fleet.progress import FleetProgress
 from repro.fleet.spec import FleetSpec, UserSpec, synthesize_users
 from repro.mobility.base import TimeShifted
 from repro.net.deployment import Deployment
 from repro.net.mobile import Mobile
+from repro.obs import telemetry as _telemetry
+from repro.obs.log import get_logger
 
 PathLike = Union[str, Path]
+
+_log = get_logger("fleet")
+
+#: Run-phase slices between :meth:`FleetProgress.on_run` calls.  Slicing
+#: only happens when a reporter is installed, and is event-for-event
+#: identical to a single ``run_until`` (pinned by the equivalence suite).
+PROGRESS_SLICES = 20
 
 #: Fleet artifact schema version.
 FLEET_FORMAT = 1
@@ -78,17 +89,22 @@ class FleetTrialResult:
             ) from error
 
 
-def build_fleet(spec: FleetSpec) -> FleetRun:
+def build_fleet(
+    spec: FleetSpec, progress: Optional[FleetProgress] = None
+) -> FleetRun:
     """Materialize a fleet spec onto the street grid.
 
     Construction order is user-index order throughout (mobiles, then
     each user's protocol), so both burst-delivery paths — and any worker
     count driving this via a campaign — see identical RNG stream
-    creation and event scheduling.
+    creation and event scheduling.  ``progress`` receives one
+    :meth:`~repro.fleet.progress.FleetProgress.on_build` call per user.
     """
     from repro.experiments.scenarios import build_street_grid_deployment
     from repro.registry import SCENARIOS, make_codebook, make_protocol
 
+    _log.info("building fleet %r: %d users, seed %d",
+              spec.name, spec.n_users, spec.seed)
     deployment = build_street_grid_deployment(
         spec.seed, n_cells=spec.n_cells, bs_beamwidth_deg=spec.bs_beamwidth_deg
     )
@@ -107,7 +123,7 @@ def build_fleet(spec: FleetSpec) -> FleetRun:
         mobiles.append(mobile)
     # Protocols attach after the whole population exists: a protocol
     # constructor may inspect deployment topology.
-    for user, mobile in zip(users, mobiles):
+    for index, (user, mobile) in enumerate(zip(users, mobiles)):
         protocols.append(
             make_protocol(
                 user.protocol,
@@ -117,6 +133,8 @@ def build_fleet(spec: FleetSpec) -> FleetRun:
                 build_config(user.overrides),
             )
         )
+        if progress is not None:
+            progress.on_build(index + 1, len(users))
     return FleetRun(
         spec=spec,
         deployment=deployment,
@@ -126,31 +144,88 @@ def build_fleet(spec: FleetSpec) -> FleetRun:
     )
 
 
-def run_fleet_trial(spec: FleetSpec) -> FleetTrialResult:
-    """Run one fleet to completion and aggregate its population metrics."""
-    run = build_fleet(spec)
+def _advance_run(run: FleetRun, progress: Optional[FleetProgress]) -> None:
+    """Advance the deployment by the spec duration, reporting progress.
+
+    Without a reporter this is one ``deployment.run`` call.  With one,
+    the same duration is covered in :data:`PROGRESS_SLICES` absolute
+    targets — ``run_until`` leaves the clock exactly on each target, so
+    every event fires at the same time either way — with an early break
+    when a callback stopped the simulator (matching the single-call
+    behaviour of leaving the remaining time unadvanced).
+    """
+    duration_s = run.spec.duration_s
+    if progress is None:
+        run.deployment.run(duration_s)
+        return
+    sim = run.deployment.sim
+    for slice_index in range(1, PROGRESS_SLICES + 1):
+        if slice_index == PROGRESS_SLICES:
+            target = duration_s
+        else:
+            target = duration_s * slice_index / PROGRESS_SLICES
+        run.deployment.run(max(0.0, target - sim.now))
+        progress.on_run(sim.now, duration_s)
+        if sim.stop_requested:
+            break
+
+
+def run_built_fleet(
+    run: FleetRun, progress: Optional[FleetProgress] = None
+) -> FleetTrialResult:
+    """Run an already-built fleet to completion and aggregate its metrics.
+
+    Split from :func:`run_fleet_trial` so callers that need the live
+    deployment afterwards (``repro obs export`` reads its trace and the
+    ambient telemetry) can build, run, and then inspect.
+    """
+    spec = run.spec
+    telemetry = _telemetry.current()
     started: List = []
+    started_wall = time.monotonic()
+    if progress is not None:
+        progress.on_start(len(run.users), spec.duration_s)
     try:
-        for protocol in run.protocols:
-            protocol.start()
-            started.append(protocol)
-        run.deployment.run(spec.duration_s)
+        with telemetry.span("fleet.run"):
+            for protocol in run.protocols:
+                protocol.start()
+                started.append(protocol)
+            _advance_run(run, progress)
     finally:
         # Mirror the Session contract: every protocol that started is
         # stopped even when a later start() or the run itself raises.
         for protocol in started:
             protocol.stop()
         run.deployment.stop()
-    results = [
-        user_result(user, mobile, protocol, spec.duration_s)
-        for user, mobile, protocol in zip(run.users, run.mobiles, run.protocols)
-    ]
-    return FleetTrialResult(
-        fleet=spec.to_dict(),
-        fleet_hash=spec.fleet_hash,
-        users=results,
-        aggregates=aggregate_users(results, spec.duration_s),
-    )
+    with telemetry.span("fleet.aggregate"):
+        results = [
+            user_result(user, mobile, protocol, spec.duration_s)
+            for user, mobile, protocol in zip(
+                run.users, run.mobiles, run.protocols
+            )
+        ]
+        trial = FleetTrialResult(
+            fleet=spec.to_dict(),
+            fleet_hash=spec.fleet_hash,
+            users=results,
+            aggregates=aggregate_users(results, spec.duration_s),
+        )
+    elapsed = time.monotonic() - started_wall
+    if progress is not None:
+        progress.on_finish(len(run.users), elapsed)
+    _log.info("fleet %r: %d users ran %gs simulated in %.1fs wall",
+              spec.name, len(run.users), spec.duration_s, elapsed)
+    return trial
+
+
+def run_fleet_trial(
+    spec: FleetSpec, progress: Optional[FleetProgress] = None
+) -> FleetTrialResult:
+    """Run one fleet to completion and aggregate its population metrics."""
+    telemetry = _telemetry.current()
+    with telemetry.span("fleet.build"):
+        run = build_fleet(spec, progress)
+    return run_built_fleet(run, progress)
 
 
 # --------------------------------------------------------------- artifacts

@@ -36,12 +36,16 @@ from repro.mobility.base import sample_poses
 from repro.net.base_station import BaseStation
 from repro.net.link_engine import LinkEngine
 from repro.net.mobile import Mobile
+from repro.obs import telemetry as _telemetry
+from repro.obs.log import get_logger
 from repro.phy.channel import Channel, ChannelConfig
 from repro.phy.frame import FrameConfig, RachConfig
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
+
+_log = get_logger("net.deployment")
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,9 @@ class Deployment:
         self.links = LinkEngine(self.channel, self.rng)
         self.trace = TraceRecorder(enabled=self.config.trace_enabled)
         self.metrics = MetricsRecorder()
+        #: Ambient telemetry hub (wall-clock spans/counters only — it
+        #: can never influence simulation state or RNG streams).
+        self.telemetry = _telemetry.current()
         self._stations: Dict[str, BaseStation] = {}
         self._mobiles: Dict[str, Mobile] = {}
         self._burst_tasks: List[PeriodicTask] = []
@@ -128,6 +135,10 @@ class Deployment:
         if self._started:
             raise RuntimeError("deployment already started")
         self._started = True
+        _log.debug(
+            "start: %d stations, %d mobiles, t=%.3fs",
+            len(self._stations), len(self._mobiles), self.sim.now,
+        )
         now = self.sim.now
         for station in self._stations.values():
             # First burst: the next grid point at or after now — but
@@ -155,8 +166,9 @@ class Deployment:
             if self.fleet_batch and len(self._mobiles) > 1 and self.links.vectorized:
                 self._deliver_burst_batch(station)
             else:
-                for mobile in self._mobiles.values():
-                    mobile.deliver_burst(station, self.links, self.sim.now)
+                with self.telemetry.span("net.burst_scalar"):
+                    for mobile in self._mobiles.values():
+                        mobile.deliver_burst(station, self.links, self.sim.now)
 
         return handle_burst
 
@@ -168,25 +180,27 @@ class Deployment:
         (listener beam choices, radio occupancy), one grid evaluation
         for the admitted population, then listener delivery.
         """
-        now = self.sim.now
-        admitted: List[Mobile] = []
-        rx_beams: List[int] = []
-        for mobile in self._mobiles.values():
-            rx_beam = mobile.begin_burst(station, now)
-            if rx_beam is None:
-                continue
-            admitted.append(mobile)
-            rx_beams.append(rx_beam)
-        if not admitted:
-            return
-        poses = sample_poses([mobile.trajectory for mobile in admitted], now)
-        requests = [
-            (mobile.mobile_id, pose, mobile.rx_gain_fn(now, pose), rx_beam)
-            for mobile, pose, rx_beam in zip(admitted, poses, rx_beams)
-        ]
-        measurements = self.links.measure_burst_batch(station, requests, now)
-        for mobile, measurement in zip(admitted, measurements):
-            mobile.complete_burst(measurement)
+        with self.telemetry.span("net.burst_batch"):
+            now = self.sim.now
+            admitted: List[Mobile] = []
+            rx_beams: List[int] = []
+            for mobile in self._mobiles.values():
+                rx_beam = mobile.begin_burst(station, now)
+                if rx_beam is None:
+                    continue
+                admitted.append(mobile)
+                rx_beams.append(rx_beam)
+            self.telemetry.observe("net.burst_batch_size", len(admitted))
+            if not admitted:
+                return
+            poses = sample_poses([mobile.trajectory for mobile in admitted], now)
+            requests = [
+                (mobile.mobile_id, pose, mobile.rx_gain_fn(now, pose), rx_beam)
+                for mobile, pose, rx_beam in zip(admitted, poses, rx_beams)
+            ]
+            measurements = self.links.measure_burst_batch(station, requests, now)
+            for mobile, measurement in zip(admitted, measurements):
+                mobile.complete_burst(measurement)
 
     def run(self, duration_s: float) -> None:
         """Start (if needed) and advance simulated time by ``duration_s``.
@@ -213,3 +227,5 @@ class Deployment:
             task.stop()
         self._burst_tasks.clear()
         self._started = False
+        _log.debug("stop: t=%.3fs, %d events fired",
+                   self.sim.now, self.sim.events_fired)

@@ -27,6 +27,7 @@ wall clock.
 from __future__ import annotations
 
 import os
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -34,6 +35,7 @@ import numpy as np
 from repro.geometry.pose import Pose
 from repro.measure.report import RssMeasurement
 from repro.net.base_station import BaseStation
+from repro.obs import telemetry as _telemetry
 from repro.phy.channel import Channel
 from repro.sim.rng import RngRegistry
 
@@ -68,6 +70,9 @@ class LinkEngine:
         #: Burst-evaluation path; the scalar reference loop exists for
         #: perf comparison and equivalence tests.
         self.vectorized = os.environ.get("REPRO_BURST_PATH", "vectorized") != "scalar"
+        # Ambient telemetry: burst evaluation is the wall-clock hot
+        # path, so spans are dispatched behind an ``enabled`` check.
+        self._telemetry = _telemetry.current()
 
     @staticmethod
     def link_id(cell_id: str, mobile_id: str) -> str:
@@ -102,6 +107,32 @@ class LinkEngine:
         Returns the best-detected SSB as a measurement; tx_beam/rss are
         ``None`` when no dwell cleared the detection threshold.
         """
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return self._measure_burst_impl(
+                station, mobile_id, mobile_pose, rx_gain_fn, rx_beam,
+                time_s, detection_snr_db,
+            )
+        started = perf_counter()
+        try:
+            return self._measure_burst_impl(
+                station, mobile_id, mobile_pose, rx_gain_fn, rx_beam,
+                time_s, detection_snr_db,
+            )
+        finally:
+            telemetry.record_span("phy.measure_burst", started, perf_counter())
+            telemetry.incr("phy.bursts_measured")
+
+    def _measure_burst_impl(
+        self,
+        station: BaseStation,
+        mobile_id: str,
+        mobile_pose: Pose,
+        rx_gain_fn,
+        rx_beam: int,
+        time_s: float,
+        detection_snr_db: Optional[float] = None,
+    ) -> RssMeasurement:
         budget = station.link_budget
         threshold = (
             budget.detection_snr_db if detection_snr_db is None else detection_snr_db
@@ -167,6 +198,29 @@ class LinkEngine:
 
         Returns one :class:`RssMeasurement` per request, in order.
         """
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return self._measure_burst_batch_impl(
+                station, requests, time_s, detection_snr_db
+            )
+        started = perf_counter()
+        try:
+            return self._measure_burst_batch_impl(
+                station, requests, time_s, detection_snr_db
+            )
+        finally:
+            telemetry.record_span(
+                "phy.measure_burst_batch", started, perf_counter()
+            )
+            telemetry.incr("phy.bursts_measured", len(requests))
+
+    def _measure_burst_batch_impl(
+        self,
+        station: BaseStation,
+        requests,
+        time_s: float,
+        detection_snr_db: Optional[float] = None,
+    ):
         budget = station.link_budget
         threshold = (
             budget.detection_snr_db if detection_snr_db is None else detection_snr_db

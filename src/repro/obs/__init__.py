@@ -1,0 +1,70 @@
+"""Observability substrate (``repro.obs``): telemetry, logging, export.
+
+Three pieces, all deterministic-by-construction (wall clock only, no RNG
+streams, no simulated state):
+
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` hub: counters,
+  integer histograms and nestable wall-clock spans, near-zero-cost when
+  disabled, ambient per process (:func:`use` / :func:`current`).
+* :mod:`repro.obs.log` — standard-library logging integration rooted at
+  the ``repro`` logger; the CLI's ``--log-level``/``-v`` flags feed
+  :func:`configure_logging`.
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome
+  trace-event export for Perfetto, plus load/merge/top/diff over the
+  telemetry summaries campaigns and fleets leave on disk.
+
+Quickstart::
+
+    from repro.obs import Telemetry, use
+
+    with use(Telemetry()) as telemetry:
+        result = run_fleet_trial(spec)       # hot paths report spans
+    print(telemetry.summary()["spans"])
+
+or, from the command line: ``repro fleet run --telemetry``, then
+``repro obs top <artifact>.telemetry.json``.
+"""
+
+from repro.obs.export import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.log import configure_logging, get_logger, resolve_level
+from repro.obs.report import (
+    ObsError,
+    counter_rows,
+    diff_rows,
+    load_telemetry,
+    merge_summaries,
+    sidecar_path,
+    top_rows,
+    write_telemetry,
+)
+from repro.obs.telemetry import (
+    DISABLED,
+    TELEMETRY_FORMAT,
+    Telemetry,
+    current,
+    set_current,
+    use,
+)
+
+__all__ = [
+    "DISABLED",
+    "ObsError",
+    "TELEMETRY_FORMAT",
+    "Telemetry",
+    "chrome_trace",
+    "chrome_trace_events",
+    "configure_logging",
+    "counter_rows",
+    "current",
+    "diff_rows",
+    "get_logger",
+    "load_telemetry",
+    "merge_summaries",
+    "resolve_level",
+    "set_current",
+    "sidecar_path",
+    "top_rows",
+    "use",
+    "write_chrome_trace",
+    "write_telemetry",
+]

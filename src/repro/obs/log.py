@@ -1,0 +1,101 @@
+"""Standard-library logging integration for the simulator.
+
+Every module logs through a child of the ``repro`` root logger::
+
+    from repro.obs.log import get_logger
+    _log = get_logger("campaign")      # -> logging.Logger "repro.campaign"
+
+Nothing is printed until :func:`configure_logging` installs a handler —
+library users who configure ``logging`` themselves see our records
+through their own handlers, and the CLI wires its ``--log-level``/
+``-v`` flags into :func:`configure_logging` at startup.  The default
+level is WARNING, so existing stdout/stderr output (tables, progress
+lines) stays untouched unless verbosity is requested.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+#: Root logger name for everything under ``src/repro``.
+ROOT_LOGGER = "repro"
+
+#: Handler format: level + logger (no timestamps — simulation output is
+#: deterministic-looking, wall clocks belong in telemetry spans).
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler we installed, so repeated
+#: configuration replaces it instead of stacking duplicates.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger ``repro.<name>`` (or the ``repro`` root when no name)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def resolve_level(
+    log_level: Optional[str] = None, verbosity: int = 0
+) -> int:
+    """Numeric level from an explicit ``--log-level`` or ``-v`` count.
+
+    An explicit name wins; otherwise ``-v`` means INFO and ``-vv`` (or
+    more) DEBUG, with WARNING as the quiet default.
+    """
+    if log_level:
+        try:
+            return _LEVELS[log_level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {log_level!r} "
+                f"(choose from {', '.join(sorted(_LEVELS))})"
+            ) from None
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(
+    level: Union[int, str, None] = None,
+    verbosity: int = 0,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the ``repro`` stderr handler and set levels.
+
+    Idempotent: calling again adjusts the level and swaps the handler
+    rather than stacking a second one.  Returns the root logger.
+    """
+    resolved = (
+        level
+        if isinstance(level, int)
+        else resolve_level(level, verbosity)
+    )
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(resolved)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    # Our handler is the delivery path; don't duplicate records through
+    # the (possibly basicConfig'd) global root logger.
+    root.propagate = False
+    return root

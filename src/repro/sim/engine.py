@@ -18,7 +18,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
+
+from repro.obs import telemetry as _telemetry
 
 
 class SimulationError(RuntimeError):
@@ -142,6 +145,10 @@ class Simulator:
         self._running = False
         self._events_fired = 0
         self._stop_requested = False
+        # Ambient telemetry captured once: the engine dispatch loop is
+        # the hottest pure-Python path, so the disabled case must cost
+        # one attribute check per event, not a registry lookup.
+        self._telemetry = _telemetry.current()
 
     @property
     def now(self) -> float:
@@ -157,6 +164,16 @@ class Simulator:
     def pending_events(self) -> int:
         """Exact number of non-cancelled events still queued."""
         return len(self._queue)
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether the last run was halted by :meth:`stop`.
+
+        Stays true until the next run begins, so callers that advance
+        time in slices can tell a drained/expired run from a stopped
+        one between slices.
+        """
+        return self._stop_requested
 
     def schedule(
         self,
@@ -209,6 +226,7 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         fired_this_run = 0
+        telemetry = self._telemetry
         try:
             while not self._stop_requested:
                 next_time = self._queue.peek_time()
@@ -220,7 +238,21 @@ class Simulator:
                 if event is None:
                     break
                 self._now = event.time
-                event.callback(*event.args)
+                if telemetry.enabled:
+                    # Span names bucket by the label's first dotted
+                    # component ("ssb", "rach", ...) to bound
+                    # cardinality; counters keep the full label.
+                    label = event.label or "unlabeled"
+                    started = perf_counter()
+                    event.callback(*event.args)
+                    telemetry.record_span(
+                        "sim.event." + label.partition(".")[0],
+                        started,
+                        perf_counter(),
+                    )
+                    telemetry.incr("sim.events." + label)
+                else:
+                    event.callback(*event.args)
                 self._events_fired += 1
                 fired_this_run += 1
                 if max_events is not None and fired_this_run >= max_events:

@@ -39,6 +39,10 @@ class MetricsRecorder:
         """Current counter value; zero when never incremented."""
         return self._counters.get(name, 0)
 
+    def counters(self) -> Dict[str, int]:
+        """All counters (copy) — the public view :meth:`merge_from` uses."""
+        return dict(self._counters)
+
     # ------------------------------------------------------------------ gauges
     def set_gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last-write-wins)."""
@@ -47,6 +51,10 @@ class MetricsRecorder:
     def gauge(self, name: str) -> Optional[float]:
         """Current gauge value, or ``None`` when never set."""
         return self._gauges.get(name)
+
+    def gauges(self) -> Dict[str, float]:
+        """All gauges (copy)."""
+        return dict(self._gauges)
 
     # ------------------------------------------------------------------ series
     def record(self, name: str, time: float, value: float) -> None:
@@ -75,6 +83,10 @@ class MetricsRecorder:
         """Online summary statistics for a series (empty stats if unknown)."""
         return self._stats.get(name, RunningStats())
 
+    def series_names(self) -> List[str]:
+        """Names of all recorded series, in first-recorded order."""
+        return list(self._series)
+
     # ----------------------------------------------------------------- summary
     def summary(self) -> Dict[str, dict]:
         """Nested dict of everything recorded, for reports and debugging."""
@@ -88,6 +100,23 @@ class MetricsRecorder:
         """Accumulate another recorder's counters into this one.
 
         Used by experiment runners to aggregate per-trial recorders.
+        Goes through the public :meth:`counters` view, so it works for
+        any recorder-shaped object, not just this exact class.
         """
-        for name, value in other._counters.items():
+        for name, value in other.counters().items():
             self.incr(name, value)
+
+    def merge_from(self, other: "MetricsRecorder") -> None:
+        """Accumulate everything ``other`` recorded into this recorder.
+
+        Counters add; gauges are last-write-wins (``other``'s value
+        lands last, matching :meth:`set_gauge` semantics); series
+        samples are replayed through :meth:`record`, so the online
+        :class:`RunningStats` merge exactly rather than approximately.
+        """
+        self.merge_counters_from(other)
+        for name, value in other.gauges().items():
+            self.set_gauge(name, value)
+        for name in other.series_names():
+            for sample in other.series(name):
+                self.record(name, sample.time, sample.value)

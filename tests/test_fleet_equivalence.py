@@ -195,6 +195,117 @@ class TestCampaignWorkerEquivalence:
         assert cell_bytes[1] == cell_bytes[2]
 
 
+class TestTelemetryByteIdentity:
+    """Wall-clock observability must never leak into artifacts."""
+
+    def test_fleet_artifact_identical_across_telemetry_modes(self):
+        from repro.obs import Telemetry
+        from repro.obs import telemetry as telemetry_mod
+
+        spec_args = dict(n_users=6, seed=13, duration_s=1.0)
+        ambient = canonical_json(
+            run_fleet_trial(fleet_spec(**spec_args)).to_dict()
+        )
+        with telemetry_mod.use(telemetry_mod.DISABLED):
+            disabled = canonical_json(
+                run_fleet_trial(fleet_spec(**spec_args)).to_dict()
+            )
+        with telemetry_mod.use(Telemetry()) as hub:
+            enabled = canonical_json(
+                run_fleet_trial(fleet_spec(**spec_args)).to_dict()
+            )
+        with telemetry_mod.use(Telemetry(record_events=True)):
+            recording = canonical_json(
+                run_fleet_trial(fleet_spec(**spec_args)).to_dict()
+            )
+        assert disabled == ambient
+        assert enabled == ambient
+        assert recording == ambient
+        # The enabled run did actually observe the hot paths.
+        assert hub.counter("phy.bursts_measured") > 0
+        assert "fleet.run" in hub.span_totals()
+
+    def test_campaign_cells_identical_with_and_without_telemetry(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+        from repro.fleet.experiment import fleet_campaign_spec
+
+        spec = fleet_campaign_spec(
+            n_users=3, scenarios=("walk",), mixes=("uniform",),
+            seeds=2, duration_s=1.0,
+        )
+        cell_bytes = {}
+        for label, flag in (("plain", False), ("telemetry", True)):
+            out = tmp_path / label
+            result = run_campaign(spec, out_dir=out, telemetry=flag)
+            cells = sorted((out / "cells").glob("*.json"))
+            assert len(cells) == spec.n_cells
+            cell_bytes[label] = {p.name: p.read_bytes() for p in cells}
+            assert (len(result.telemetry) == spec.n_cells) is flag
+        assert cell_bytes["plain"] == cell_bytes["telemetry"]
+
+    def test_telemetry_sidecars_do_not_affect_resume(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+        from repro.campaign.store import ArtifactStore
+        from repro.fleet.experiment import fleet_campaign_spec
+
+        spec = fleet_campaign_spec(
+            n_users=3, scenarios=("walk",), mixes=("uniform",),
+            seeds=1, duration_s=1.0,
+        )
+        out = tmp_path / "camp"
+        run_campaign(spec, out_dir=out, telemetry=True)
+        store = ArtifactStore(out)
+        assert store.completed_ids() == {
+            cell.cell_id for cell in spec.iter_cells()
+        }
+        resumed = run_campaign(spec, out_dir=out, telemetry=True)
+        assert resumed.executed == 0
+        assert resumed.skipped == spec.n_cells
+        # The stored sidecars still surface on the resumed result.
+        assert len(resumed.telemetry) == spec.n_cells
+
+
+class TestProgressEquivalence:
+    """A progress reporter slices the run but never changes a byte."""
+
+    def test_fleet_artifact_identical_with_progress_reporter(self):
+        from repro.fleet.progress import FleetProgress
+
+        class Recording(FleetProgress):
+            def __init__(self):
+                self.builds = []
+                self.runs = []
+                self.started = None
+                self.finished = None
+
+            def on_build(self, built, total):
+                self.builds.append((built, total))
+
+            def on_start(self, users, duration_s):
+                self.started = (users, duration_s)
+
+            def on_run(self, sim_now_s, duration_s):
+                self.runs.append((sim_now_s, duration_s))
+
+            def on_finish(self, users, elapsed_s):
+                self.finished = users
+
+        silent = canonical_json(run_fleet_trial(fleet_spec()).to_dict())
+        reporter = Recording()
+        reported = canonical_json(
+            run_fleet_trial(fleet_spec(), reporter).to_dict()
+        )
+        assert reported == silent
+        spec = fleet_spec()
+        assert reporter.builds == [
+            (k + 1, spec.n_users) for k in range(spec.n_users)
+        ]
+        assert reporter.started == (spec.n_users, spec.duration_s)
+        assert reporter.finished == spec.n_users
+        # The run phase ends exactly on the spec duration.
+        assert reporter.runs[-1][0] == spec.duration_s
+
+
 class TestFreshProcessRepeat:
     def test_cli_artifact_byte_identical_across_processes(self, tmp_path):
         env = dict(os.environ)

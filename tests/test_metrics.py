@@ -1,5 +1,7 @@
 """Unit tests for the metrics recorder."""
 
+import json
+
 import pytest
 
 from repro.sim.metrics import MetricsRecorder
@@ -24,6 +26,23 @@ class TestCounters:
         a.merge_counters_from(b)
         assert a.counter("x") == 5
         assert a.counter("y") == 1
+
+    def test_counters_view_is_a_copy(self):
+        metrics = MetricsRecorder()
+        metrics.incr("x", 2)
+        view = metrics.counters()
+        view["x"] = 99
+        view["new"] = 1
+        assert metrics.counter("x") == 2
+        assert metrics.counter("new") == 0
+
+    def test_merge_leaves_source_untouched(self):
+        a = MetricsRecorder()
+        b = MetricsRecorder()
+        b.incr("x", 3)
+        a.merge_counters_from(b)
+        a.incr("x")
+        assert b.counter("x") == 3
 
 
 class TestGauges:
@@ -64,6 +83,55 @@ class TestSeries:
         assert metrics.stats("nope").count == 0
 
 
+class TestMergeFrom:
+    def make_pair(self):
+        a = MetricsRecorder()
+        b = MetricsRecorder()
+        a.incr("x", 2)
+        a.set_gauge("g", 1.0)
+        a.record("s", 0.0, 1.0)
+        b.incr("x", 3)
+        b.set_gauge("g", 5.0)
+        b.record("s", 0.1, 3.0)
+        b.record("t", 0.2, 7.0)
+        return a, b
+
+    def test_counters_add(self):
+        a, b = self.make_pair()
+        a.merge_from(b)
+        assert a.counter("x") == 5
+
+    def test_gauges_last_write_wins(self):
+        a, b = self.make_pair()
+        a.merge_from(b)
+        assert a.gauge("g") == 5.0
+
+    def test_series_samples_concatenate(self):
+        a, b = self.make_pair()
+        a.merge_from(b)
+        assert a.series_values("s") == [1.0, 3.0]
+        assert a.series_values("t") == [7.0]
+
+    def test_series_stats_merge_exactly(self):
+        # The merged online stats must equal stats over the combined
+        # sample stream, not an approximation.
+        a, b = self.make_pair()
+        a.merge_from(b)
+        reference = MetricsRecorder()
+        for time, value in ((0.0, 1.0), (0.1, 3.0)):
+            reference.record("s", time, value)
+        assert a.stats("s").mean == pytest.approx(reference.stats("s").mean)
+        assert a.stats("s").variance == pytest.approx(
+            reference.stats("s").variance
+        )
+        assert a.stats("s").count == reference.stats("s").count
+
+    def test_names_views(self):
+        a, b = self.make_pair()
+        assert b.series_names() == ["s", "t"]
+        assert b.gauges() == {"g": 5.0}
+
+
 class TestSummary:
     def test_structure(self):
         metrics = MetricsRecorder()
@@ -74,3 +142,12 @@ class TestSummary:
         assert summary["counters"] == {"c": 1}
         assert summary["gauges"] == {"g": 7.0}
         assert summary["series"]["s"]["count"] == 1
+
+    def test_json_round_trip(self):
+        metrics = MetricsRecorder()
+        metrics.incr("c", 3)
+        metrics.set_gauge("g", 7.5)
+        for value in (1.0, 2.0, 4.0):
+            metrics.record("s", 0.0, value)
+        summary = metrics.summary()
+        assert json.loads(json.dumps(summary)) == summary

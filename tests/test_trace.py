@@ -37,6 +37,41 @@ class TestEmit:
         trace.emit(0.0, "cat", "node")
         assert len(seen) == 1
 
+    def test_multiple_listeners_all_invoked_in_order(self):
+        trace = TraceRecorder()
+        calls = []
+        trace.subscribe(lambda e: calls.append(("a", e.category)))
+        trace.subscribe(lambda e: calls.append(("b", e.category)))
+        trace.emit(0.0, "cat", "node")
+        assert calls == [("a", "cat"), ("b", "cat")]
+
+    def test_listener_sees_full_event(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.25, "rach.msg1", "ue3", result="heard")
+        event = seen[0]
+        assert event.time == 1.25
+        assert event.node == "ue3"
+        assert event.data == {"result": "heard"}
+
+    def test_disabled_skips_listeners(self):
+        trace = TraceRecorder(enabled=False)
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(0.0, "cat", "node")
+        assert seen == []
+
+    def test_clear_keeps_listeners_subscribed(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(0.0, "cat", "node")
+        trace.clear()
+        trace.emit(0.1, "cat", "node")
+        assert len(seen) == 2
+        assert len(trace) == 1
+
 
 class TestFilter:
     def test_exact_category(self):
