@@ -16,12 +16,30 @@ path plus derived speedups at each population size; the acceptance
 target is the batch path beating the scalar path >= 3x at 64 users.
 The determinism contract is proven on real artifacts too: one fleet
 spec is run per delivery path and the canonical JSON results are
-byte-compared (``artifacts_identical``).
+byte-compared (``artifacts_identical``), and a sharded run's merged
+artifact is byte-compared against the unsharded run
+(``sharded_identical``).
+
+Sharded cases (``fleet.sharded.*``) run :func:`~repro.fleet.runner.
+run_fleet_sharded` on the campaign worker pool with streaming metric
+reservoirs at large N: a 10^4-user worker-scaling sweep, a 10^5-user
+point and — in full mode — a 10^6-user point.  Workers use the
+``spawn`` start method so their recorded peak RSS (``derived.peak_rss``)
+is the shard's own footprint, not a fork-inherited high-water mark;
+``derived.worker_scaling`` carries the 10^4-user medians per worker
+count next to ``cpu_count`` so a single-core CI runner's flat curve
+reads as what it is.
+
+Quick mode (CI smoke) trims the big populations and the fully scalar
+64-user reference but keeps case ``meta`` identical to the committed
+full-mode artifact, so the ``--compare`` median-regression gate always
+has comparable cases.
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 import platform
 import sys
 from typing import Dict, List, Optional
@@ -48,6 +66,24 @@ BENCH_FILENAME = "BENCH_fleet.json"
 #: the fully scalar 64-user reference is not timed on every push.
 USER_COUNTS = (4, 16, 64)
 USER_COUNTS_QUICK = (4, 16)
+
+#: Sharded cases: (n_users, shards, workers, duration_s, repeats).
+#: Durations shrink with population so the committed full-mode artifact
+#: stays rebuildable in minutes; shard counts grow so per-shard
+#: footprints stay in the thousands of users (that flat per-worker
+#: footprint is exactly what ``derived.peak_rss`` demonstrates).
+SHARDED_CASES = (
+    (64, 4, 2, 1.0, None),
+    (10_000, 8, 1, 0.25, 1),
+    (10_000, 8, 2, 0.25, 1),
+    (10_000, 8, 4, 0.25, 1),
+    (100_000, 16, 2, 0.1, 1),
+    (1_000_000, 256, 2, 0.05, 1),
+)
+SHARDED_CASES_QUICK = ((64, 4, 2, 1.0, None),)
+
+#: Worker counts of the 10^4-user scaling sweep (derived section).
+WORKER_SWEEP_USERS = 10_000
 
 
 @contextlib.contextmanager
@@ -141,6 +177,81 @@ def _check_artifact_identity(n_users: int, duration_s: float) -> bool:
     return payloads[0] == payloads[1]
 
 
+def _check_sharded_identity(n_users: int, duration_s: float) -> bool:
+    """Byte-compare a sharded run's merged artifact with the unsharded run."""
+    from repro.campaign.spec import canonical_json
+    from repro.fleet import run_fleet_sharded, run_fleet_trial
+
+    spec = _bench_spec(n_users, duration_s)
+    unsharded = canonical_json(run_fleet_trial(spec).to_dict())
+    sharded = run_fleet_sharded(spec, 3, workers=2, stream=False)
+    return canonical_json(sharded.merged.to_dict()) == unsharded
+
+
+def _run_sharded(
+    n_users: int,
+    shards: int,
+    workers: int,
+    duration_s: float,
+    stream: Optional[bool],
+    rss_kb: Optional[Dict[str, int]] = None,
+) -> None:
+    """One sharded bench execution; optionally records worker peak RSS.
+
+    ``spawn`` workers report their own high-water mark (``fork`` would
+    inherit the driver's); the serial ``workers=1`` path measures the
+    driver process and is excluded from ``rss_kb``.
+    """
+    from repro.fleet import run_fleet_sharded
+
+    result = run_fleet_sharded(
+        _bench_spec(n_users, duration_s),
+        shards,
+        workers=workers,
+        stream=stream,
+        mp_context="spawn" if workers > 1 else None,
+    )
+    if rss_kb is None or workers <= 1:
+        return
+    observed = [
+        stats["max_rss_kb"]
+        for stats in result.shard_stats.values()
+        if stats.get("max_rss_kb")
+    ]
+    if observed:
+        key = str(n_users)
+        rss_kb[key] = max(max(observed), rss_kb.get(key, 0))
+
+
+def _bench_sharded(
+    results: List[TimingResult],
+    repeats: int,
+    warmup: int,
+    cases,
+    rss_kb: Dict[str, int],
+) -> None:
+    for n_users, shards, workers, duration_s, case_repeats in cases:
+        stream = True if n_users > 1000 else None
+        meta = {
+            "n_users": n_users,
+            "duration_s": duration_s,
+            "cells": 3,
+            "shards": shards,
+            "workers": workers,
+            "stream": bool(stream),
+        }
+        results.append(
+            time_fn(
+                f"fleet.sharded.u{n_users}.s{shards}.w{workers}",
+                lambda n=n_users, s=shards, w=workers, d=duration_s,
+                st=stream: _run_sharded(n, s, w, d, st, rss_kb),
+                case_repeats if case_repeats is not None else repeats,
+                0 if case_repeats is not None else warmup,
+                meta,
+            )
+        )
+
+
 def run_fleet_bench(
     quick: bool = False,
     out_path: Optional[str] = None,
@@ -152,14 +263,23 @@ def run_fleet_bench(
     The ``derived`` section carries, per population size, the speedup of
     the batch path over the fully scalar path (``speedup_vs_scalar``)
     and over the per-mobile vectorized loop (``speedup_vs_permobile``),
-    plus the wall-seconds-per-user scaling curve of each path.
+    plus the wall-seconds-per-user scaling curve of each path, the
+    sharded worker-scaling sweep (``worker_scaling``) and the per-worker
+    peak RSS of the streaming sharded runs (``peak_rss``).
+
+    Quick and full mode time identical workloads (same ``meta``) for
+    the cases quick mode keeps, so a quick run gates cleanly against
+    the committed full-mode artifact with ``--compare``.
     """
     n_repeats = repeats if repeats is not None else (2 if quick else 3)
     n_warmup = warmup if warmup is not None else (0 if quick else 1)
-    duration_s = 0.5 if quick else 1.0
+    duration_s = 1.0
     user_counts = USER_COUNTS_QUICK if quick else USER_COUNTS
+    sharded_cases = SHARDED_CASES_QUICK if quick else SHARDED_CASES
     results: List[TimingResult] = []
     _bench_scaling(results, n_repeats, n_warmup, user_counts, duration_s)
+    rss_kb: Dict[str, int] = {}
+    _bench_sharded(results, n_repeats, n_warmup, sharded_cases, rss_kb)
     by_name = {result.name: result for result in results}
     scaling: Dict[str, Dict[str, float]] = {"scalar": {}, "permobile": {}, "batch": {}}
     speedups: Dict[str, Dict[str, float]] = {}
@@ -174,6 +294,12 @@ def run_fleet_bench(
             "speedup_vs_scalar": speedup(scalar, batch),
             "speedup_vs_permobile": speedup(permobile, batch),
         }
+    worker_scaling: Dict[str, float] = {}
+    for n_users, shards, workers, case_duration, _ in sharded_cases:
+        if n_users != WORKER_SWEEP_USERS:
+            continue
+        case = by_name[f"fleet.sharded.u{n_users}.s{shards}.w{workers}"]
+        worker_scaling[str(workers)] = case.median_s
     payload: Dict[str, object] = {
         "format": BENCH_FORMAT,
         "suite": "fleet",
@@ -181,11 +307,17 @@ def run_fleet_bench(
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
         "results": results_payload(results),
         "derived": {
             "scaling_median_s": scaling,
             "speedups": speedups,
+            "worker_scaling": worker_scaling,
+            "peak_rss": {"unit": "kb", "by_users": rss_kb},
             "artifacts_identical": _check_artifact_identity(
+                n_users=8, duration_s=0.5 if quick else 1.0
+            ),
+            "sharded_identical": _check_sharded_identity(
                 n_users=8, duration_s=0.5 if quick else 1.0
             ),
         },

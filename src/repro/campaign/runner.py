@@ -22,11 +22,12 @@ package for their thin one-shot wrappers.
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.progress import NullProgress, ProgressReporter
 from repro.campaign.spec import CampaignCell, CampaignSpec
@@ -145,6 +146,110 @@ def _default_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+# ------------------------------------------------------------- worker pool
+#: Worker-side progress sink (a queue back to the driver), installed by
+#: the pool initializer.  Task functions read it via :func:`progress_sink`
+#: — ``None`` means nobody is listening and events should be skipped.
+_PROGRESS_SINK = None
+
+
+def _pool_initializer(sink) -> None:
+    global _PROGRESS_SINK
+    _PROGRESS_SINK = sink
+
+
+def progress_sink():
+    """The worker's progress sink (``.put(event)``), or ``None``."""
+    return _PROGRESS_SINK
+
+
+class _CallbackSink:
+    """Serial-path sink: delivers events straight to the driver handler."""
+
+    def __init__(self, handler: Callable) -> None:
+        self._handler = handler
+
+    def put(self, event) -> None:
+        self._handler(event)
+
+
+def execute_pooled(
+    task_fn: Callable,
+    tasks: Sequence,
+    workers: int,
+    record_outcome: Callable,
+    mp_context: Optional[str] = None,
+    progress_handler: Optional[Callable] = None,
+) -> None:
+    """Run picklable tasks on the campaign worker pool.
+
+    The one pool used by campaigns *and* fleet shards: ``task_fn`` must
+    be a module-level function returning an outcome tuple, which the
+    driver-side ``record_outcome`` receives splatted — completion order
+    is scheduling-dependent, so outcomes must be order-independent
+    (both callers key them by content hash).  ``workers <= 1`` (or a
+    single task) runs serially in-process — the reference path for the
+    byte-identity guarantee.
+
+    ``progress_handler`` receives worker-originated progress events on
+    the driver, best-effort and unordered across workers.  Workers post
+    them via :func:`progress_sink`; on the serial path the sink calls
+    the handler directly.  Progress can never influence results — it
+    only exists between a task starting and its outcome being recorded.
+    """
+    global _PROGRESS_SINK
+    if workers <= 1 or len(tasks) == 1:
+        previous = _PROGRESS_SINK
+        _PROGRESS_SINK = (
+            _CallbackSink(progress_handler) if progress_handler else None
+        )
+        try:
+            for task in tasks:
+                record_outcome(*task_fn(task))
+        finally:
+            _PROGRESS_SINK = previous
+        return
+
+    ctx = (
+        multiprocessing.get_context(mp_context)
+        if mp_context
+        else _default_context()
+    )
+    pool_size = min(workers, len(tasks))
+    if progress_handler is None:
+        with ctx.Pool(processes=pool_size) as pool:
+            for outcome in pool.imap_unordered(task_fn, tasks, chunksize=1):
+                record_outcome(*outcome)
+        return
+
+    sink = ctx.Queue()
+
+    def drain() -> None:
+        while True:
+            try:
+                event = sink.get_nowait()
+            except queue_module.Empty:
+                return
+            progress_handler(event)
+
+    with ctx.Pool(
+        processes=pool_size, initializer=_pool_initializer, initargs=(sink,)
+    ) as pool:
+        pending = [pool.apply_async(task_fn, (task,)) for task in tasks]
+        while pending:
+            drain()
+            still_running = []
+            for handle in pending:
+                if handle.ready():
+                    record_outcome(*handle.get())
+                else:
+                    still_running.append(handle)
+            pending = still_running
+            if pending:
+                time.sleep(0.05)
+        drain()
+
+
 def run_campaign(
     spec: CampaignSpec,
     out_dir: Optional[PathLike] = None,
@@ -235,17 +340,13 @@ def run_campaign(
 
     if pending:
         tasks = [(cell.to_dict(), telemetry) for cell in pending]
-        if workers <= 1 or len(pending) == 1:
-            for task in tasks:
-                record_outcome(*_execute_cell_task(task))
-        else:
-            ctx = multiprocessing.get_context(mp_context) if mp_context else _default_context()
-            pool_size = min(workers, len(pending))
-            with ctx.Pool(processes=pool_size) as pool:
-                for outcome in pool.imap_unordered(
-                    _execute_cell_task, tasks, chunksize=1
-                ):
-                    record_outcome(*outcome)
+        execute_pooled(
+            _execute_cell_task,
+            tasks,
+            workers,
+            record_outcome,
+            mp_context=mp_context,
+        )
 
     reporter.on_finish(
         result.executed, len(result.failures), time.monotonic() - started

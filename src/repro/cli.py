@@ -485,10 +485,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"speedup {pair}: {factor:.2f}x")
     for case, factor in derived.get("telemetry_overhead", {}).items():
         print(f"telemetry overhead {case}: {factor:.2f}x")
+    scaling = derived.get("worker_scaling") or {}
+    if scaling:
+        cpus = payload.get("cpu_count", "?")
+        detail = ", ".join(
+            f"w{workers} {seconds:.2f}s" for workers, seconds in scaling.items()
+        )
+        print(f"sharded worker scaling @10^4 users ({cpus} cpus): {detail}")
+    rss = (derived.get("peak_rss") or {}).get("by_users") or {}
+    for users, kb in rss.items():
+        print(f"peak worker RSS @{users} users: {kb / 1024.0:.0f} MB")
     print(f"artifacts identical across paths: {derived['artifacts_identical']}")
+    if "sharded_identical" in derived:
+        print(
+            "sharded merged artifact identical: "
+            f"{derived['sharded_identical']}"
+        )
     if out:
         print(f"wrote {out}")
-    status = 0 if derived["artifacts_identical"] else 1
+    status = (
+        0
+        if derived["artifacts_identical"]
+        and derived.get("sharded_identical", True)
+        else 1
+    )
     if baseline is not None:
         comparisons = compare_payloads(payload, baseline)
         skipped = incomparable_cases(payload, baseline)
@@ -590,6 +610,7 @@ def _fleet_spec_from_args(args: argparse.Namespace):
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
     from repro.fleet import (
         ConsoleFleetProgress,
+        run_fleet_sharded,
         run_fleet_trial,
         write_fleet_artifact,
     )
@@ -598,6 +619,42 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
 
     spec = _fleet_spec_from_args(args)
     progress = None if args.quiet else ConsoleFleetProgress()
+
+    if args.shards is not None:
+        # Sharded path: shards run like campaign cells on the worker
+        # pool; --out becomes a directory (manifest + one artifact per
+        # shard + merged fleet.json).  Shard-count validation
+        # (shards < 1, shards > users) raises SpecError -> exit 2.
+        sharded = run_fleet_sharded(
+            spec,
+            args.shards,
+            out_dir=args.out,
+            workers=args.workers,
+            progress=progress,
+            telemetry=args.telemetry,
+            stream=True if args.stream else None,
+        )
+        result = sharded.merged
+        _print_fleet_summary(result)
+        if args.cdf:
+            _print_fleet_cdfs(result)
+        if args.out:
+            print(f"artifacts in {sharded.out_dir}")
+        merged = sharded.merged_telemetry()
+        if merged is not None:
+            _print_telemetry_top(merged)
+        return 0
+
+    if args.workers != 1:
+        print(
+            "error: --workers requires --shards (an unsharded fleet is "
+            "one simulation)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.stream:
+        print("error: --stream requires --shards", file=sys.stderr)
+        return 2
     hub = Telemetry() if args.telemetry else telemetry_mod.DISABLED
     with use(hub):
         result = run_fleet_trial(spec, progress)
@@ -617,9 +674,14 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_summarize(args: argparse.Namespace) -> int:
-    from repro.fleet import load_fleet_artifact
+    from pathlib import Path
 
-    result = load_fleet_artifact(args.artifact)
+    from repro.fleet import load_fleet_artifact, load_sharded_fleet
+
+    if Path(args.artifact).is_dir():
+        result = load_sharded_fleet(args.artifact)
+    else:
+        result = load_fleet_artifact(args.artifact)
     _print_fleet_summary(result, source=args.artifact)
     if args.cdf:
         _print_fleet_cdfs(result)
@@ -867,6 +929,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet_run = fleet_sub.add_parser("run", help="run one fleet")
     _add_fleet_shape_args(fleet_run)
+    fleet_run.add_argument("--shards", type=int, default=None,
+                           help="partition the population into N shards "
+                                "and run them on the campaign worker "
+                                "pool (--out becomes a directory)")
+    fleet_run.add_argument("--workers", type=int, default=1,
+                           help="worker processes for --shards runs")
+    fleet_run.add_argument("--stream", action="store_true",
+                           help="force streaming aggregation (drop "
+                                "per-user results; bounded reservoirs); "
+                                "default: auto above "
+                                "10^4 users")
     fleet_run.add_argument("--out", default=None,
                            help="write the canonical JSON artifact here")
     fleet_run.add_argument("--cdf", action="store_true",

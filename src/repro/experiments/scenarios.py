@@ -193,6 +193,7 @@ def build_street_grid_deployment(
             frame=base.frame,
             rach=base.rach,
             trace_enabled=base.trace_enabled,
+            per_link_decode=base.per_link_decode,
         )
     )
     beamwidth = BS_BEAMWIDTH_DEG if bs_beamwidth_deg is None else bs_beamwidth_deg

@@ -22,40 +22,62 @@ campaign experiment kind (registered on import of
 and :func:`repro.api.run_trial`.
 """
 
-from repro.fleet.metrics import FleetUserResult, aggregate_users, user_result
+from repro.fleet.metrics import (
+    FleetAccumulator,
+    FleetUserResult,
+    aggregate_users,
+    user_result,
+)
 from repro.fleet.progress import ConsoleFleetProgress, FleetProgress
 from repro.fleet.runner import (
+    FleetError,
     FleetRun,
     FleetTrialResult,
+    ShardedFleetResult,
     build_fleet,
     load_fleet_artifact,
+    load_sharded_fleet,
     run_built_fleet,
+    run_fleet_sharded,
     run_fleet_trial,
+    run_shard,
     write_fleet_artifact,
 )
 from repro.fleet.spec import (
+    FleetShard,
     FleetSpec,
     UserProfile,
     UserSpec,
     load_spec,
+    partition_fleet,
     synthesize_users,
 )
+from repro.fleet.store import FleetShardStore
 
 __all__ = [
     "ConsoleFleetProgress",
+    "FleetAccumulator",
+    "FleetError",
     "FleetProgress",
     "FleetRun",
+    "FleetShard",
+    "FleetShardStore",
     "FleetSpec",
     "FleetTrialResult",
     "FleetUserResult",
+    "ShardedFleetResult",
     "UserProfile",
     "UserSpec",
     "aggregate_users",
     "build_fleet",
     "load_fleet_artifact",
+    "load_sharded_fleet",
     "load_spec",
+    "partition_fleet",
     "run_built_fleet",
+    "run_fleet_sharded",
     "run_fleet_trial",
+    "run_shard",
     "synthesize_users",
     "user_result",
     "write_fleet_artifact",

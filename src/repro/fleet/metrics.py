@@ -4,9 +4,24 @@ Single-UE experiments report one trial's numbers; a fleet reports the
 *distribution* of those numbers over a user population — the regime
 where systems behavior emerges.  :func:`user_result` compresses one
 user's run (protocol handover log, search timelines, burst counters)
-into a JSON-safe :class:`FleetUserResult`; :func:`aggregate_users`
-folds a population of them into summary statistics and empirical CDFs
-via :mod:`repro.analysis.stats`.
+into a JSON-safe :class:`FleetUserResult`; :class:`FleetAccumulator`
+folds a population of them — streamed one user at a time, mergeable
+across shards — into summary statistics and empirical CDFs via
+:mod:`repro.analysis.stats`.
+
+Aggregation has two regimes with one output shape:
+
+* **exact** (``capacity=None``, the default at small N): every metric
+  sample is retained, and the payload reproduces the batch
+  :func:`~repro.analysis.stats.summarize` /
+  :func:`~repro.analysis.stats.empirical_cdf` arithmetic bit for bit —
+  a pure function of the sample multiset, so shard-merged aggregates
+  are byte-identical to the unsharded run.
+* **streaming** (bounded ``capacity``): counts/mean/stddev/min/max stay
+  exact via :class:`~repro.analysis.stats.StreamingMoments`, while
+  quantiles/CDFs come from the deterministic
+  :class:`~repro.analysis.stats.QuantileReservoir` — memory stays flat
+  as N grows, and accuracy is gated by statistical-tolerance tests.
 """
 
 from __future__ import annotations
@@ -14,7 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.analysis.stats import empirical_cdf, summarize
+from repro.analysis.stats import (
+    QuantileReservoir,
+    StreamingMoments,
+    empirical_cdf,
+    summarize,
+)
+from repro.campaign.spec import SpecError
 from repro.fleet.spec import UserSpec
 
 
@@ -116,20 +137,199 @@ def user_result(
     )
 
 
-def _cdf_payload(values: Sequence[float]) -> Optional[dict]:
-    """``{"xs": ..., "ps": ...}`` series, or ``None`` for an empty sample."""
-    if not len(values):
-        return None
-    xs, ps = empirical_cdf(values)
-    return {"xs": list(xs), "ps": list(ps)}
+#: Population-wide integer counts summed into ``aggregates["totals"]``.
+TOTAL_FIELDS = (
+    "bursts_measured",
+    "bursts_skipped_busy",
+    "searches_started",
+    "handovers_completed",
+    "handovers_failed",
+    "soft_handovers",
+    "hard_handovers",
+    "ping_pongs",
+)
+
+#: Distribution metrics summarized in ``aggregates["summary"]``.
+METRIC_KEYS = (
+    "search_latency_s",
+    "completion_time_s",
+    "handover_rate_per_min",
+    "ping_pong_rate_per_min",
+    "outage_fraction",
+)
+
+#: The subset of metrics that also get CDF series (the Fig. 2c plots).
+CDF_KEYS = ("search_latency_s", "completion_time_s", "outage_fraction")
+
+
+class MetricAccumulator:
+    """One metric's streaming state: exact moments + quantile sketch."""
+
+    __slots__ = ("moments", "reservoir")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.moments = StreamingMoments()
+        self.reservoir = QuantileReservoir(capacity)
+
+    def extend(self, values: Sequence[float]) -> None:
+        self.moments.extend(values)
+        self.reservoir.extend(values)
+
+    def merge(self, other: "MetricAccumulator") -> None:
+        self.moments.merge(other.moments)
+        self.reservoir.merge(other.reservoir)
+
+    def summary(self) -> Dict[str, float]:
+        """:func:`summarize`-shaped dict — bit-identical to the batch
+        helper while the reservoir is exact, streaming moments plus
+        sketch quantiles after."""
+        if self.reservoir.exact:
+            return summarize(self.reservoir.values())
+        return {
+            "count": self.moments.count,
+            "mean": self.moments.mean,
+            "stddev": self.moments.stddev,
+            "min": self.moments.min,
+            "p10": self.reservoir.quantile(0.10),
+            "p50": self.reservoir.quantile(0.50),
+            "p90": self.reservoir.quantile(0.90),
+            "max": self.moments.max,
+        }
+
+    def cdf_payload(self) -> Optional[dict]:
+        """``{"xs": ..., "ps": ...}`` series, or ``None`` when empty."""
+        if self.reservoir.count == 0:
+            return None
+        xs, ps = self.reservoir.cdf()
+        return {"xs": list(xs), "ps": list(ps)}
+
+    def to_dict(self) -> dict:
+        return {
+            "moments": self.moments.to_dict(),
+            "reservoir": self.reservoir.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "MetricAccumulator":
+        accumulator = cls.__new__(cls)
+        accumulator.moments = StreamingMoments.from_dict(record["moments"])
+        accumulator.reservoir = QuantileReservoir.from_dict(record["reservoir"])
+        return accumulator
+
+
+class FleetAccumulator:
+    """Mergeable fleet-level aggregation state.
+
+    Users are folded in one at a time (:meth:`add_user`) so a shard
+    worker never needs the whole population in memory, and per-shard
+    accumulators merge into the population-wide aggregates
+    (:meth:`merge`).  With ``capacity=None`` every metric sample is
+    retained and :meth:`aggregates` is a pure function of the user
+    multiset — byte-identical however the population was sharded; with
+    a bounded capacity memory stays flat in N (see the module
+    docstring).
+    """
+
+    def __init__(
+        self, duration_s: float, capacity: Optional[int] = None
+    ) -> None:
+        self.duration_s = float(duration_s)
+        self.capacity = capacity
+        self.users = 0
+        self.totals: Dict[str, int] = {name: 0 for name in TOTAL_FIELDS}
+        self.metrics: Dict[str, MetricAccumulator] = {
+            key: MetricAccumulator(capacity) for key in METRIC_KEYS
+        }
+
+    def add_user(self, user: FleetUserResult) -> None:
+        self.users += 1
+        for name in TOTAL_FIELDS:
+            self.totals[name] += getattr(user, name)
+        per_minute = 60.0 / self.duration_s if self.duration_s > 0.0 else 0.0
+        self.metrics["search_latency_s"].extend(user.search_latencies_s)
+        self.metrics["completion_time_s"].extend(user.completion_times_s)
+        self.metrics["handover_rate_per_min"].extend(
+            [user.handovers_completed * per_minute]
+        )
+        self.metrics["ping_pong_rate_per_min"].extend(
+            [user.ping_pongs * per_minute]
+        )
+        self.metrics["outage_fraction"].extend([user.outage_fraction])
+
+    def add_users(self, users: Sequence[FleetUserResult]) -> None:
+        for user in users:
+            self.add_user(user)
+
+    def merge(self, other: "FleetAccumulator") -> None:
+        """Fold another shard's accumulator in (any grouping order)."""
+        if other.duration_s != self.duration_s:
+            raise SpecError(
+                f"cannot merge fleet aggregates of duration "
+                f"{other.duration_s!r}s into {self.duration_s!r}s"
+            )
+        if other.capacity != self.capacity:
+            raise SpecError(
+                f"cannot merge fleet aggregates of reservoir capacity "
+                f"{other.capacity!r} into {self.capacity!r}"
+            )
+        self.users += other.users
+        for name in TOTAL_FIELDS:
+            self.totals[name] += other.totals[name]
+        for key in METRIC_KEYS:
+            self.metrics[key].merge(other.metrics[key])
+
+    @property
+    def exact(self) -> bool:
+        """True while every metric reservoir still retains its sample."""
+        return all(self.metrics[key].reservoir.exact for key in METRIC_KEYS)
+
+    def aggregates(self) -> Dict[str, object]:
+        """The fleet ``aggregates`` payload (totals / summary / cdf)."""
+        totals: Dict[str, int] = {"users": self.users}
+        totals.update(self.totals)
+        return {
+            "exact": self.exact,
+            "totals": totals,
+            "summary": {
+                key: self.metrics[key].summary() for key in METRIC_KEYS
+            },
+            "cdf": {
+                key: self.metrics[key].cdf_payload() for key in CDF_KEYS
+            },
+        }
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-safe state for shard artifacts (mergeable on load)."""
+        return {
+            "duration_s": self.duration_s,
+            "capacity": self.capacity,
+            "users": self.users,
+            "totals": dict(self.totals),
+            "metrics": {
+                key: self.metrics[key].to_dict() for key in METRIC_KEYS
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "FleetAccumulator":
+        accumulator = cls(record["duration_s"], record["capacity"])
+        accumulator.users = int(record["users"])
+        for name in TOTAL_FIELDS:
+            accumulator.totals[name] = int(record["totals"][name])
+        accumulator.metrics = {
+            key: MetricAccumulator.from_dict(record["metrics"][key])
+            for key in METRIC_KEYS
+        }
+        return accumulator
 
 
 def aggregate_users(
     users: Sequence[FleetUserResult], duration_s: float
 ) -> Dict[str, object]:
-    """Fleet-level aggregates over a population of user results.
+    """Fleet-level aggregates over a fully-retained population.
 
-    Returns a JSON-safe dict with three sections:
+    The exact-mode convenience wrapper around :class:`FleetAccumulator`:
 
     * ``totals`` — population-wide counts;
     * ``summary`` — per-metric :func:`summarize` dicts (search latency,
@@ -138,34 +338,6 @@ def aggregate_users(
     * ``cdf`` — the fleet CDF series Fig. 2c-style plots need (search
       latency, completion time, outage fraction).
     """
-    search_latencies = [x for u in users for x in u.search_latencies_s]
-    completion_times = [x for u in users for x in u.completion_times_s]
-    per_minute = 60.0 / duration_s if duration_s > 0.0 else 0.0
-    handover_rates = [u.handovers_completed * per_minute for u in users]
-    pingpong_rates = [u.ping_pongs * per_minute for u in users]
-    outage_fractions = [u.outage_fraction for u in users]
-    return {
-        "totals": {
-            "users": len(users),
-            "bursts_measured": sum(u.bursts_measured for u in users),
-            "bursts_skipped_busy": sum(u.bursts_skipped_busy for u in users),
-            "searches_started": sum(u.searches_started for u in users),
-            "handovers_completed": sum(u.handovers_completed for u in users),
-            "handovers_failed": sum(u.handovers_failed for u in users),
-            "soft_handovers": sum(u.soft_handovers for u in users),
-            "hard_handovers": sum(u.hard_handovers for u in users),
-            "ping_pongs": sum(u.ping_pongs for u in users),
-        },
-        "summary": {
-            "search_latency_s": summarize(search_latencies),
-            "completion_time_s": summarize(completion_times),
-            "handover_rate_per_min": summarize(handover_rates),
-            "ping_pong_rate_per_min": summarize(pingpong_rates),
-            "outage_fraction": summarize(outage_fractions),
-        },
-        "cdf": {
-            "search_latency_s": _cdf_payload(search_latencies),
-            "completion_time_s": _cdf_payload(completion_times),
-            "outage_fraction": _cdf_payload(outage_fractions),
-        },
-    }
+    accumulator = FleetAccumulator(duration_s, capacity=None)
+    accumulator.add_users(users)
+    return accumulator.aggregates()

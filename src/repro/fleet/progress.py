@@ -34,6 +34,9 @@ class FleetProgress:
     def on_finish(self, users: int, elapsed_s: float) -> None:
         """Run complete (``elapsed_s`` is wall-clock)."""
 
+    def on_shard_done(self, done: int, total: int, elapsed_s: float) -> None:
+        """One shard of a sharded run completed (or resumed from disk)."""
+
 
 #: Library default: silence.
 NullFleetProgress = FleetProgress
@@ -79,3 +82,88 @@ class ConsoleFleetProgress(FleetProgress):
             f"fleet: {users} users done in {elapsed_s:.1f}s wall",
             file=self._stream,
         )
+
+    def on_shard_done(self, done: int, total: int, elapsed_s: float) -> None:
+        print(
+            f"fleet: shard {done}/{total} done ({elapsed_s:.1f}s)",
+            file=self._stream,
+        )
+
+
+# ------------------------------------------------------------- sharded runs
+class QueueShardProgress(FleetProgress):
+    """Worker-side adapter: forwards hooks as events on the pool sink.
+
+    Installed inside shard workers; events cross the pool pipe to the
+    driver's :class:`ShardProgressAggregator`.  Build chatter is
+    throttled per shard (a million-user run must not flood the pipe
+    with per-user events); run-slice events are already bounded by
+    :data:`repro.fleet.runner.PROGRESS_SLICES`.
+    """
+
+    def __init__(self, sink, shard_index: int) -> None:
+        self._sink = sink
+        self._shard = shard_index
+        self._last_built = 0
+
+    def _post(self, event) -> None:
+        try:
+            self._sink.put(event)
+        except (OSError, ValueError):  # driver gone; progress is advisory
+            pass
+
+    def on_build(self, built: int, total: int) -> None:
+        step = max(1, total // 5)
+        if built == total or built - self._last_built >= step:
+            self._last_built = built
+            self._post(("build", self._shard, built, total))
+
+    def on_start(self, users: int, duration_s: float) -> None:
+        self._post(("start", self._shard, users, duration_s))
+
+    def on_run(self, sim_now_s: float, duration_s: float) -> None:
+        self._post(("run", self._shard, sim_now_s, duration_s))
+
+
+class ShardProgressAggregator:
+    """Driver-side fold of per-shard events into one fleet-wide view.
+
+    Receives ``("build"|"start"|"run", shard_index, ...)`` tuples (any
+    interleaving across shards) and forwards population-level
+    aggregates to the wrapped reporter: built users sum across shards,
+    and the run clock is the user-weighted mean of shard clocks — a
+    shard that finished contributes its full duration, an unstarted
+    shard contributes zero, so the fraction is overall progress.
+    """
+
+    def __init__(
+        self, inner: FleetProgress, n_users: int, duration_s: float
+    ) -> None:
+        self._inner = inner
+        self._n_users = max(1, n_users)
+        self._duration_s = duration_s
+        self._built: dict = {}
+        self._shard_users: dict = {}
+        self._sim_now: dict = {}
+
+    def handle(self, event) -> None:
+        kind, shard_index = event[0], event[1]
+        if kind == "build":
+            self._built[shard_index] = event[2]
+            self._inner.on_build(
+                sum(self._built.values()), self._n_users
+            )
+        elif kind == "start":
+            self._shard_users[shard_index] = event[2]
+        elif kind == "run":
+            self._sim_now[shard_index] = event[2]
+            weighted = sum(
+                self._shard_users.get(index, 0) * now
+                for index, now in self._sim_now.items()
+            )
+            self._inner.on_run(weighted / self._n_users, self._duration_s)
+
+    def shard_finished(self, shard_index: int) -> None:
+        """Mark a shard complete so the aggregate clock stays honest."""
+        if shard_index in self._shard_users:
+            self._sim_now[shard_index] = self._duration_s

@@ -16,25 +16,59 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+import traceback
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.stats import QuantileReservoir
+from repro.campaign.runner import CampaignError, execute_pooled, progress_sink
 from repro.campaign.spec import SpecError, build_config, canonical_json
-from repro.fleet.metrics import FleetUserResult, aggregate_users, user_result
-from repro.fleet.progress import FleetProgress
-from repro.fleet.spec import FleetSpec, UserSpec, synthesize_users
+from repro.campaign.store import StoreError
+from repro.fleet.metrics import (
+    FleetAccumulator,
+    FleetUserResult,
+    aggregate_users,
+    user_result,
+)
+from repro.fleet.progress import (
+    FleetProgress,
+    QueueShardProgress,
+    ShardProgressAggregator,
+)
+from repro.fleet.spec import (
+    FleetShard,
+    FleetSpec,
+    UserSpec,
+    partition_fleet,
+    synthesize_users,
+)
+from repro.fleet.store import FleetShardStore
 from repro.mobility.base import TimeShifted
 from repro.net.deployment import Deployment
 from repro.net.mobile import Mobile
 from repro.obs import telemetry as _telemetry
 from repro.obs.log import get_logger
 
+try:  # Unix only; worker RSS stats degrade to None elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
 PathLike = Union[str, Path]
 
 _log = get_logger("fleet")
+
+
+class FleetError(CampaignError):
+    """Raised for sharded-fleet misuse or failed shards.
+
+    Subclasses :class:`~repro.campaign.runner.CampaignError` — the
+    shards run on the campaign worker pool and the CLI maps both to the
+    same exit conventions.
+    """
 
 #: Run-phase slices between :meth:`FleetProgress.on_run` calls.  Slicing
 #: only happens when a reporter is installed, and is event-for-event
@@ -58,11 +92,17 @@ class FleetRun:
 
 @dataclass(frozen=True)
 class FleetTrialResult:
-    """Outcome of one fleet run: spec identity + per-user results + CDFs."""
+    """Outcome of one fleet run: spec identity + per-user results + CDFs.
+
+    ``users`` is ``None`` for streaming (large-N sharded) runs — the
+    per-user results were folded into the aggregates as they were
+    produced and never retained, which is what keeps artifact size and
+    merge memory flat in the population size.
+    """
 
     fleet: dict
     fleet_hash: str
-    users: List[FleetUserResult]
+    users: Optional[List[FleetUserResult]]
     aggregates: dict
 
     def to_dict(self) -> dict:
@@ -70,7 +110,11 @@ class FleetTrialResult:
             "format": FLEET_FORMAT,
             "fleet": self.fleet,
             "fleet_hash": self.fleet_hash,
-            "users": [user.to_dict() for user in self.users],
+            "users": (
+                None
+                if self.users is None
+                else [user.to_dict() for user in self.users]
+            ),
             "aggregates": self.aggregates,
         }
 
@@ -80,7 +124,11 @@ class FleetTrialResult:
             return cls(
                 fleet=dict(record["fleet"]),
                 fleet_hash=str(record["fleet_hash"]),
-                users=[FleetUserResult.from_dict(u) for u in record["users"]],
+                users=(
+                    None
+                    if record["users"] is None
+                    else [FleetUserResult.from_dict(u) for u in record["users"]]
+                ),
                 aggregates=dict(record["aggregates"]),
             )
         except (KeyError, TypeError, AttributeError) as error:
@@ -90,7 +138,10 @@ class FleetTrialResult:
 
 
 def build_fleet(
-    spec: FleetSpec, progress: Optional[FleetProgress] = None
+    spec: FleetSpec,
+    progress: Optional[FleetProgress] = None,
+    users: Optional[List[UserSpec]] = None,
+    trace: bool = True,
 ) -> FleetRun:
     """Materialize a fleet spec onto the street grid.
 
@@ -99,16 +150,30 @@ def build_fleet(
     count driving this via a campaign — see identical RNG stream
     creation and event scheduling.  ``progress`` receives one
     :meth:`~repro.fleet.progress.FleetProgress.on_build` call per user.
+
+    ``users`` restricts the build to a subset of the population (a
+    shard); every user's streams and outcomes are unchanged by the
+    subsetting because fleet deployments run with per-link decode
+    streams.  ``trace=False`` drops the O(events) trace recorder —
+    shard workers use it to keep memory flat; traces are never part of
+    fleet artifacts.
     """
     from repro.experiments.scenarios import build_street_grid_deployment
+    from repro.net.deployment import DeploymentConfig
     from repro.registry import SCENARIOS, make_codebook, make_protocol
 
     _log.info("building fleet %r: %d users, seed %d",
               spec.name, spec.n_users, spec.seed)
     deployment = build_street_grid_deployment(
-        spec.seed, n_cells=spec.n_cells, bs_beamwidth_deg=spec.bs_beamwidth_deg
+        spec.seed,
+        config=DeploymentConfig(
+            trace_enabled=trace, per_link_decode=True
+        ),
+        n_cells=spec.n_cells,
+        bs_beamwidth_deg=spec.bs_beamwidth_deg,
     )
-    users = synthesize_users(spec)
+    if users is None:
+        users = synthesize_users(spec)
     mobiles: List[Mobile] = []
     protocols: List[object] = []
     for user in users:
@@ -250,3 +315,384 @@ def load_fleet_artifact(path: PathLike) -> FleetTrialResult:
     """Read a fleet artifact written by :func:`write_fleet_artifact`."""
     record = json.loads(Path(path).read_text(encoding="utf-8"))
     return FleetTrialResult.from_dict(record)
+
+
+# ----------------------------------------------------------- sharded fleets
+#: Shard artifact schema version.
+SHARD_FORMAT = 1
+
+#: Above this population, sharded runs default to streaming aggregation
+#: (``stream=None``): per-user results are folded into reservoirs and
+#: dropped, keeping shard artifacts and merge memory flat in N.  At or
+#: below it, runs retain per-user results, and the merged artifact is
+#: byte-identical to the unsharded run — that regime is where the
+#: equivalence suite pins correctness.
+STREAM_THRESHOLD = 10_000
+
+
+def _max_rss_kb() -> Optional[int]:
+    """This process's peak RSS in ru_maxrss units (KiB on Linux)."""
+    if _resource is None:  # pragma: no cover
+        return None
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_shard(
+    shard: FleetShard,
+    stream: bool = False,
+    capacity: Optional[int] = None,
+    progress: Optional[FleetProgress] = None,
+) -> dict:
+    """Run one shard of a partitioned fleet; returns its JSON-safe payload.
+
+    Synthesizes only this shard's users (keyed synthesis makes that
+    O(shard size)), builds the deployment with tracing off, runs it, and
+    folds each user into a :class:`~repro.fleet.metrics.FleetAccumulator`.
+    With ``stream=True`` the per-user dicts are dropped as they are
+    folded (``capacity`` bounds the quantile reservoirs); otherwise they
+    are retained in the payload and the accumulator stays exact.
+    """
+    spec = shard.spec
+    telemetry = _telemetry.current()
+    with telemetry.span("fleet.build"):
+        run = build_fleet(
+            spec, progress=progress, users=shard.synthesize(), trace=False
+        )
+    started: List = []
+    if progress is not None:
+        progress.on_start(len(run.users), spec.duration_s)
+    try:
+        with telemetry.span("fleet.run"):
+            for protocol in run.protocols:
+                protocol.start()
+                started.append(protocol)
+            _advance_run(run, progress)
+    finally:
+        for protocol in started:
+            protocol.stop()
+        run.deployment.stop()
+    with telemetry.span("fleet.aggregate"):
+        accumulator = FleetAccumulator(
+            spec.duration_s, capacity=capacity if stream else None
+        )
+        retained: Optional[List[dict]] = None if stream else []
+        for user, mobile, protocol in zip(
+            run.users, run.mobiles, run.protocols
+        ):
+            result = user_result(user, mobile, protocol, spec.duration_s)
+            accumulator.add_user(result)
+            if retained is not None:
+                retained.append(result.to_dict())
+    return {
+        "format": SHARD_FORMAT,
+        "shard": shard.to_dict(),
+        "shard_hash": shard.shard_hash,
+        "users": retained,
+        "accumulator": accumulator.to_dict(),
+    }
+
+
+def _execute_shard_task(
+    task: dict,
+) -> Tuple[
+    str,
+    Optional[dict],
+    Optional[str],
+    float,
+    Optional[dict],
+    Optional[dict],
+]:
+    """Pool task mirroring the campaign worker contract.
+
+    Returns ``(shard_hash, payload|None, error|None, elapsed_s,
+    telemetry|None, stats|None)`` — the trailing ``stats`` dict carries
+    worker-process peak RSS so the bench suite can report sharded
+    memory behaviour without instrumenting the driver.
+    """
+    shard_hash = task["shard_hash"]
+    started = time.monotonic()
+    hub = _telemetry.Telemetry() if task["telemetry"] else _telemetry.DISABLED
+    try:
+        shard = FleetShard.from_dict(task["shard"])
+        sink = progress_sink()
+        progress = (
+            QueueShardProgress(sink, shard.shard_index)
+            if sink is not None
+            else None
+        )
+        with _telemetry.use(hub):
+            payload = run_shard(
+                shard,
+                stream=task["stream"],
+                capacity=task["capacity"],
+                progress=progress,
+            )
+        summary = hub.summary() if task["telemetry"] else None
+        stats = {"max_rss_kb": _max_rss_kb()}
+        return shard_hash, payload, None, time.monotonic() - started, summary, stats
+    except Exception:  # collected, reported, retried on resume
+        message = traceback.format_exc()
+        return shard_hash, None, message, time.monotonic() - started, None, None
+
+
+@dataclass
+class ShardedFleetResult:
+    """Outcome of one :func:`run_fleet_sharded` invocation."""
+
+    spec: FleetSpec
+    n_shards: int
+    stream: bool
+    #: The merged fleet result (set once all shards completed).
+    merged: Optional[FleetTrialResult] = None
+    executed: int = 0
+    skipped: int = 0
+    out_dir: Optional[Path] = None
+    #: Per-shard wall-clock telemetry summaries keyed by shard hash
+    #: (``--telemetry`` runs only); kept out of artifacts.
+    telemetry: Dict[str, dict] = field(default_factory=dict)
+    #: Per-shard worker stats keyed by shard hash (``max_rss_kb`` etc.);
+    #: advisory, for benchmarking only.
+    shard_stats: Dict[str, dict] = field(default_factory=dict)
+
+    def merged_telemetry(self) -> Optional[dict]:
+        """All per-shard summaries folded into one, or ``None`` if none."""
+        from repro.obs.report import merge_summaries
+
+        if not self.telemetry:
+            return None
+        return merge_summaries(
+            self.telemetry[shard_hash] for shard_hash in sorted(self.telemetry)
+        )
+
+
+def _merge_shard_payloads(
+    spec: FleetSpec,
+    shards: Sequence[FleetShard],
+    payloads: Mapping[str, dict],
+) -> FleetTrialResult:
+    """Fold per-shard payloads into one fleet result, in shard order.
+
+    The merged aggregates are multiset-determined: exact accumulators
+    merge into the same sorted value multisets the unsharded run sees,
+    so the retained-mode merged artifact is byte-identical to the
+    unsharded one.  Retained users are re-sorted by user index because
+    shard membership interleaves index order.
+    """
+    accumulator: Optional[FleetAccumulator] = None
+    users: Optional[List[FleetUserResult]] = []
+    for shard in shards:
+        payload = payloads[shard.shard_hash]
+        part = FleetAccumulator.from_dict(payload["accumulator"])
+        if accumulator is None:
+            accumulator = part
+        else:
+            accumulator.merge(part)
+        if users is not None:
+            if payload["users"] is None:
+                users = None
+            else:
+                users.extend(
+                    FleetUserResult.from_dict(record)
+                    for record in payload["users"]
+                )
+    if accumulator is None:  # pragma: no cover - partition_fleet forbids K=0
+        raise FleetError("cannot merge an empty shard set")
+    if users is not None:
+        users.sort(key=lambda user: int(user.user_id[2:]))
+    return FleetTrialResult(
+        fleet=spec.to_dict(),
+        fleet_hash=spec.fleet_hash,
+        users=users,
+        aggregates=accumulator.aggregates(),
+    )
+
+
+def run_fleet_sharded(
+    spec: FleetSpec,
+    n_shards: int,
+    out_dir: Optional[PathLike] = None,
+    workers: int = 1,
+    resume: bool = True,
+    progress: Optional[FleetProgress] = None,
+    telemetry: bool = False,
+    stream: Optional[bool] = None,
+    capacity: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> ShardedFleetResult:
+    """Partition a fleet into shards and run them on the campaign pool.
+
+    Users are assigned to shards by their content-hash-derived seed
+    (order-independent), each shard synthesizes exactly its own users,
+    and shards execute like campaign cells: on the shared worker pool,
+    one artifact per shard named by the shard's content hash, manifest
+    + resume semantics, failures collected and raised at the end.  The
+    driver merges completed shards (in shard-index order) into the same
+    :class:`FleetTrialResult` the unsharded runner produces — and in
+    retained mode (``stream=False``) the merged artifact is
+    byte-identical to the unsharded one.
+
+    Parameters mirror :func:`repro.campaign.runner.run_campaign`, plus:
+
+    ``stream``
+        ``True`` drops per-user results in favour of streaming
+        reservoirs (memory flat in N); ``False`` retains them; ``None``
+        (default) streams when ``spec.n_users > STREAM_THRESHOLD``.
+    ``capacity``
+        Per-metric quantile reservoir capacity for streaming runs
+        (default :data:`~repro.analysis.stats.QuantileReservoir.DEFAULT_CAPACITY`).
+    """
+    if workers < 1:
+        raise FleetError(f"workers must be >= 1, got {workers!r}")
+    shards = partition_fleet(spec, n_shards)  # validates n_shards
+    if stream is None:
+        stream = spec.n_users > STREAM_THRESHOLD
+    if stream and capacity is None:
+        capacity = QuantileReservoir.DEFAULT_CAPACITY
+    if not stream:
+        capacity = None
+    by_hash = {shard.shard_hash: shard for shard in shards}
+
+    store: Optional[FleetShardStore] = None
+    result = ShardedFleetResult(
+        spec=spec, n_shards=n_shards, stream=stream, merged=None
+    )
+    if out_dir is not None:
+        store = FleetShardStore(out_dir)
+        store.initialize(
+            spec,
+            n_shards,
+            {shard.shard_index: shard.shard_hash for shard in shards},
+            stream=stream,
+            capacity=capacity,
+        )
+        result.out_dir = store.root
+
+    done_hashes = (
+        store.completed_hashes() & set(by_hash)
+        if (store and resume)
+        else set()
+    )
+    pending = [s for s in shards if s.shard_hash not in done_hashes]
+    result.skipped = len(done_hashes)
+
+    reporter = progress if progress is not None else FleetProgress()
+    aggregator = ShardProgressAggregator(
+        reporter, spec.n_users, spec.duration_s
+    )
+    reporter.on_start(spec.n_users, spec.duration_s)
+    started_wall = time.monotonic()
+    _log.info(
+        "fleet %r: %d users in %d shards (%d already done), workers=%d, "
+        "stream=%s",
+        spec.name, spec.n_users, n_shards, len(done_hashes), workers, stream,
+    )
+
+    payloads: Dict[str, dict] = {}
+    failures: Dict[str, str] = {}
+    for shard_hash in done_hashes:
+        payloads[shard_hash] = store.load_shard(shard_hash)
+        if telemetry:
+            stored = store.load_shard_telemetry(shard_hash)
+            if stored is not None:
+                result.telemetry[shard_hash] = stored
+    done_count = len(done_hashes)
+    if done_count:
+        reporter.on_shard_done(done_count, n_shards, 0.0)
+
+    def record_outcome(
+        shard_hash: str,
+        payload: Optional[dict],
+        error: Optional[str],
+        elapsed: float,
+        summary: Optional[dict],
+        stats: Optional[dict],
+    ) -> None:
+        nonlocal done_count
+        if error is not None:
+            failures[shard_hash] = error
+        else:
+            payloads[shard_hash] = payload
+            if store is not None:
+                store.write_shard(shard_hash, payload)
+            if summary is not None:
+                result.telemetry[shard_hash] = summary
+                if store is not None:
+                    store.write_shard_telemetry(shard_hash, summary)
+            if stats is not None:
+                result.shard_stats[shard_hash] = stats
+            done_count += 1
+            aggregator.shard_finished(by_hash[shard_hash].shard_index)
+            reporter.on_shard_done(done_count, n_shards, elapsed)
+        result.executed += 1
+
+    if pending:
+        tasks = [
+            {
+                "shard": shard.to_dict(),
+                "shard_hash": shard.shard_hash,
+                "telemetry": telemetry,
+                "stream": stream,
+                "capacity": capacity,
+            }
+            for shard in pending
+        ]
+        execute_pooled(
+            _execute_shard_task,
+            tasks,
+            workers,
+            record_outcome,
+            mp_context=mp_context,
+            progress_handler=aggregator.handle if progress is not None else None,
+        )
+
+    if failures:
+        preview = "; ".join(
+            f"shard {by_hash[shard_hash].shard_index}: "
+            f"{message.strip().splitlines()[-1]}"
+            for shard_hash, message in list(failures.items())[:3]
+        )
+        tracebacks = "\n".join(
+            f"--- shard {by_hash[shard_hash].shard_index} "
+            f"({shard_hash}) ---\n{message}"
+            for shard_hash, message in failures.items()
+        )
+        raise FleetError(
+            f"{len(failures)}/{len(pending)} fleet shards failed "
+            f"({preview})\n{tracebacks}",
+            failures,
+        )
+
+    result.merged = _merge_shard_payloads(spec, shards, payloads)
+    if store is not None:
+        write_fleet_artifact(result.merged, store.merged_path)
+    reporter.on_finish(spec.n_users, time.monotonic() - started_wall)
+    return result
+
+
+def load_sharded_fleet(out_dir: PathLike) -> FleetTrialResult:
+    """Load (and merge, if needed) a sharded fleet output directory.
+
+    Prefers the merged ``fleet.json`` the driver wrote on completion;
+    falls back to merging the shard artifacts, and raises
+    :class:`~repro.campaign.store.StoreError` when shards are missing —
+    an incomplete run should be resumed, not summarised.
+    """
+    store = FleetShardStore(out_dir)
+    record = store.load_manifest_record()
+    if record is None:
+        raise StoreError(f"{out_dir}: no sharded-fleet manifest found")
+    if store.merged_path.exists():
+        return load_fleet_artifact(store.merged_path)
+    spec = FleetSpec.from_dict(record["fleet"])
+    shards = partition_fleet(spec, int(record["n_shards"]))
+    done = store.completed_hashes()
+    missing = [s for s in shards if s.shard_hash not in done]
+    if missing:
+        raise StoreError(
+            f"{out_dir}: incomplete sharded run "
+            f"({len(missing)}/{len(shards)} shards missing); re-run "
+            f"`repro fleet run --shards {len(shards)}` against this "
+            "directory to finish it"
+        )
+    payloads = {s.shard_hash: store.load_shard(s.shard_hash) for s in shards}
+    return _merge_shard_payloads(spec, shards, payloads)

@@ -11,12 +11,20 @@ Determinism story, mirroring the campaign machinery:
 * A :class:`FleetSpec` has a content hash (:attr:`FleetSpec.fleet_hash`)
   that is a pure function of what the fleet computes — profiles, user
   count, seed, duration — never of its display name.
-* Population synthesis (:func:`synthesize_users`) draws every
-  assignment (profile choice, spawn x, start offset) from one generator
-  seeded by that hash, and derives each user's own seed with the same
-  SHA-256 scheme the RNG registry uses
-  (:func:`repro.sim.rng.derive_seed`), so user ``k`` of a spec is the
-  same user in every process, on every worker, on every burst path.
+* Population synthesis (:func:`synthesize_users`) is *per-user keyed*:
+  user ``k``'s assignments (profile choice, spawn x, start offset) come
+  from a generator seeded by ``derive_seed(fleet_hash, "user/k/
+  population")``, and the user's mobility seed is
+  ``derive_seed(fleet_hash, "user/k")`` — the same SHA-256 scheme the
+  RNG registry uses (:func:`repro.sim.rng.derive_seed`).  User ``k`` is
+  therefore a pure function of ``(fleet_hash, k)``: the same user in
+  every process, on every worker, on every burst path — and a shard can
+  synthesize just its own users in O(shard) work.
+* Sharding (:func:`partition_fleet`) assigns user ``k`` to shard
+  ``seed_k % n_shards`` using that content-hash-derived mobility seed,
+  so the assignment is order-independent and every
+  :class:`FleetShard` gets its own content hash
+  (:attr:`FleetShard.shard_hash`) for resume/memoization.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Mapping, Optional, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -279,31 +287,53 @@ def nearest_cell(start_x: float, n_cells: int) -> str:
     return min(cells, key=lambda c: abs(STATION_POSITIONS[c].x - start_x))
 
 
-def synthesize_users(spec: FleetSpec) -> List[UserSpec]:
-    """Sample the population of ``spec``, deterministically.
+def user_seed(fleet_hash: str, index: int) -> int:
+    """User ``index``'s mobility seed — and its shard-assignment key."""
+    return derive_seed(fleet_hash, f"user/{index}")
 
-    One generator — seeded from the spec's content hash — drives every
-    assignment, in user-index order: profile choice (weighted), spawn
-    position (uniform in the profile's region), start offset (uniform in
-    the profile's jitter).  Each user also receives an independent seed
-    derived from the hash and the user index, which drives the user's
-    mobility stream.
+
+def synthesize_users(
+    spec: FleetSpec, indices: Optional[Sequence[int]] = None
+) -> List[UserSpec]:
+    """Sample the population of ``spec`` (or a subset), deterministically.
+
+    Synthesis is per-user keyed: user ``k`` draws its profile choice
+    (weighted), spawn position (uniform in the profile's region) and
+    start offset (uniform in the profile's jitter) from a generator
+    seeded by ``derive_seed(fleet_hash, "user/k/population")`` — always
+    three draws, so the stream layout never depends on profile
+    configuration.  The user's mobility seed is the separate
+    ``derive_seed(fleet_hash, "user/k")`` key (:func:`user_seed`).
+
+    Because user ``k`` depends only on ``(fleet_hash, k)``, passing
+    ``indices`` synthesizes exactly that subset in O(subset) work — the
+    property shard workers rely on.  Indices must be in range and are
+    returned in the given order.
     """
-    rng = np.random.default_rng(derive_seed(spec.fleet_hash, "population"))
+    fleet_hash = spec.fleet_hash
     weights = np.array([profile.weight for profile in spec.profiles], dtype=float)
     cumulative = np.cumsum(weights / weights.sum())
+    if indices is None:
+        indices = range(spec.n_users)
     users: List[UserSpec] = []
-    for index in range(spec.n_users):
-        pick = float(rng.random())
+    for index in indices:
+        if not 0 <= index < spec.n_users:
+            raise SpecError(
+                f"user index {index!r} out of range for {spec.n_users} users"
+            )
+        rng = np.random.default_rng(
+            derive_seed(fleet_hash, f"user/{index}/population")
+        )
+        pick, x_frac, jitter_frac = rng.random(3)
         arm = min(
             int(np.searchsorted(cumulative, pick, side="right")),
             len(spec.profiles) - 1,
         )
         profile = spec.profiles[arm]
         lo, hi = profile.spawn_x
-        start_x = float(lo + (hi - lo) * rng.random())
+        start_x = float(lo + (hi - lo) * x_frac)
         offset = (
-            float(profile.start_jitter_s * rng.random())
+            float(profile.start_jitter_s * jitter_frac)
             if profile.start_jitter_s > 0.0
             else 0.0
         )
@@ -318,8 +348,104 @@ def synthesize_users(spec: FleetSpec) -> List[UserSpec]:
                 start_x=start_x,
                 start_offset_s=offset,
                 serving_cell=nearest_cell(start_x, spec.n_cells),
-                seed=derive_seed(spec.fleet_hash, f"user/{index}"),
+                seed=user_seed(fleet_hash, index),
                 overrides=dict(profile.overrides),
             )
         )
     return users
+
+
+# -------------------------------------------------------------- sharding
+@dataclass(frozen=True)
+class FleetShard:
+    """One partition of a fleet population.
+
+    Users are assigned by their content-hash-derived mobility seed
+    (``user_seed(fleet_hash, k) % n_shards``), so membership is a pure
+    function of the fleet spec and the shard arithmetic — independent of
+    enumeration order, worker count, or which other shards exist.  The
+    shard's own content hash names its artifact for resume/memoization,
+    exactly like campaign cell IDs.
+    """
+
+    spec: FleetSpec
+    shard_index: int
+    n_shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise SpecError(
+                f"n_shards must be >= 1, got {self.n_shards!r}"
+            )
+        if self.n_shards > self.spec.n_users:
+            raise SpecError(
+                f"cannot split {self.spec.n_users} users into "
+                f"{self.n_shards} shards"
+            )
+        if not 0 <= self.shard_index < self.n_shards:
+            raise SpecError(
+                f"shard_index must be in [0, {self.n_shards}), "
+                f"got {self.shard_index!r}"
+            )
+
+    # ----------------------------------------------------------- identity
+    def identity(self) -> dict:
+        return {
+            "fleet": self.spec.identity(),
+            "shard_index": self.shard_index,
+            "n_shards": self.n_shards,
+        }
+
+    @property
+    def shard_hash(self) -> str:
+        """Content hash naming this shard's artifact."""
+        return content_hash(self.identity())
+
+    # ---------------------------------------------------------- membership
+    def user_indices(self) -> List[int]:
+        """This shard's user indices, ascending."""
+        fleet_hash = self.spec.fleet_hash
+        return [
+            index
+            for index in range(self.spec.n_users)
+            if user_seed(fleet_hash, index) % self.n_shards == self.shard_index
+        ]
+
+    def synthesize(self) -> List[UserSpec]:
+        """Synthesize just this shard's users (O(shard) work)."""
+        return synthesize_users(self.spec, self.user_indices())
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        return {
+            "fleet": self.spec.to_dict(),
+            "shard_index": self.shard_index,
+            "n_shards": self.n_shards,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "FleetShard":
+        try:
+            return cls(
+                spec=FleetSpec.from_dict(record["fleet"]),
+                shard_index=int(record["shard_index"]),
+                n_shards=int(record["n_shards"]),
+            )
+        except KeyError as error:
+            raise SpecError(f"fleet shard missing field: {error}") from error
+
+
+def partition_fleet(spec: FleetSpec, n_shards: int) -> Tuple[FleetShard, ...]:
+    """Split a fleet into ``n_shards`` seed-assigned shards.
+
+    Every user lands in exactly one shard; shard membership never
+    depends on how many workers execute them.  Raises
+    :class:`~repro.campaign.spec.SpecError` for ``n_shards < 1`` or
+    ``n_shards > spec.n_users``.
+    """
+    if n_shards < 1:
+        raise SpecError(f"n_shards must be >= 1, got {n_shards!r}")
+    return tuple(
+        FleetShard(spec=spec, shard_index=index, n_shards=n_shards)
+        for index in range(n_shards)
+    )

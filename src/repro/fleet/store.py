@@ -1,0 +1,192 @@
+"""Persistent sharded-fleet artifacts: one JSON file per shard + manifest.
+
+Layout under the fleet output directory::
+
+    <root>/manifest.json                      # fleet spec + shard index
+    <root>/shards/<shard_hash>.json           # one shard's results
+    <root>/shards/<shard_hash>.telemetry.json # wall-clock sidecar (optional)
+    <root>/fleet.json                         # merged artifact (run complete)
+
+The campaign store's design rules apply unchanged (see
+:mod:`repro.campaign.store`): canonical bytes, atomic writes, and a
+single writer — shard workers ship payloads back over the pool pipe and
+only the driver touches disk.  Shard artifacts are named by the shard's
+content hash, so resume is a directory scan: a shard whose artifact
+parses and matches its recorded hash is done, anything else is re-run.
+
+Telemetry sidecars sit *next to* shard artifacts with the fleet
+``*.telemetry.json`` naming convention (not a separate directory like
+campaigns) so ``repro obs top <dir>`` discovers them with the same rule
+that finds a single fleet run's sidecar; :meth:`completed_hashes`
+excludes them by suffix.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.campaign.spec import canonical_json
+from repro.campaign.store import StoreError, _atomic_write_text
+from repro.fleet.spec import FleetSpec
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR_NAME = "shards"
+MERGED_NAME = "fleet.json"
+STORE_FORMAT = 1
+
+
+class FleetShardStore:
+    """Reads and writes one sharded fleet run's on-disk artifacts."""
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        self._shard_dir = self._root / SHARD_DIR_NAME
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def manifest_path(self) -> Path:
+        return self._root / MANIFEST_NAME
+
+    @property
+    def merged_path(self) -> Path:
+        return self._root / MERGED_NAME
+
+    def shard_path(self, shard_hash: str) -> Path:
+        return self._shard_dir / f"{shard_hash}.json"
+
+    def telemetry_path(self, shard_hash: str) -> Path:
+        return self._shard_dir / f"{shard_hash}.telemetry.json"
+
+    # -------------------------------------------------------------- manifest
+    def initialize(
+        self,
+        spec: FleetSpec,
+        n_shards: int,
+        shard_hashes: Dict[int, str],
+        stream: bool,
+        capacity: Optional[int],
+    ) -> None:
+        """Create the layout and manifest for one sharded run.
+
+        Re-initialising with the same fleet *and* the same shard
+        arithmetic (shard count, streaming mode, reservoir capacity) is
+        the resume path and is a no-op; anything else is refused —
+        shard artifacts from different partitionings must never merge.
+        """
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._shard_dir.mkdir(exist_ok=True)
+        existing = self.load_manifest_record()
+        record = {
+            "format": STORE_FORMAT,
+            "kind": "fleet-shards",
+            "name": spec.name,
+            "fleet": spec.to_dict(),
+            "fleet_hash": spec.fleet_hash,
+            "n_shards": n_shards,
+            "stream": stream,
+            "capacity": capacity,
+            "shards": [
+                {"shard_index": index, "shard_hash": shard_hashes[index]}
+                for index in sorted(shard_hashes)
+            ],
+        }
+        if existing is not None:
+            same = all(
+                existing.get(key) == record[key]
+                for key in ("fleet_hash", "n_shards", "stream", "capacity")
+            )
+            if not same:
+                raise StoreError(
+                    f"{self._root} already holds fleet "
+                    f"{existing.get('name')!r} with a different "
+                    f"spec/sharding (hash {existing.get('fleet_hash')}, "
+                    f"{existing.get('n_shards')} shards, "
+                    f"stream={existing.get('stream')}, "
+                    f"capacity={existing.get('capacity')}); "
+                    "use a fresh output directory"
+                )
+            return
+        _atomic_write_text(self.manifest_path, canonical_json(record) + "\n")
+
+    def load_manifest_record(self) -> Optional[dict]:
+        """The raw manifest dict, or ``None`` when absent."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            record = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"{self.manifest_path}: malformed manifest: {error}"
+            ) from error
+        if record.get("format") != STORE_FORMAT or record.get("kind") != "fleet-shards":
+            raise StoreError(
+                f"{self.manifest_path}: not a sharded-fleet manifest "
+                f"(format {record.get('format')!r}, kind {record.get('kind')!r})"
+            )
+        return record
+
+    # ---------------------------------------------------------------- shards
+    def write_shard(self, shard_hash: str, payload: dict) -> Path:
+        """Persist one shard's result artifact (atomic, canonical bytes)."""
+        self._shard_dir.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(shard_hash)
+        _atomic_write_text(path, canonical_json(payload) + "\n")
+        return path
+
+    def completed_hashes(self) -> Set[str]:
+        """Shard hashes with a readable, self-consistent artifact.
+
+        Mirrors the campaign store: a file that fails to parse or whose
+        recorded hash mismatches its name is treated as missing and
+        simply re-run.  Telemetry sidecars are excluded by suffix.
+        """
+        done: Set[str] = set()
+        if not self._shard_dir.is_dir():
+            return done
+        for path in self._shard_dir.glob("*.json"):
+            if path.name.endswith(".telemetry.json"):
+                continue
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("shard_hash") == path.stem
+            ):
+                done.add(path.stem)
+        return done
+
+    def load_shard(self, shard_hash: str) -> dict:
+        """One shard's payload dict from disk."""
+        path = self.shard_path(shard_hash)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreError(f"no artifact for shard {shard_hash}") from None
+        except json.JSONDecodeError as error:
+            raise StoreError(f"{path}: malformed artifact: {error}") from error
+
+    # ------------------------------------------------------------- telemetry
+    def write_shard_telemetry(self, shard_hash: str, summary: dict) -> Path:
+        """Persist one shard's wall-clock telemetry sidecar (advisory)."""
+        self._shard_dir.mkdir(parents=True, exist_ok=True)
+        path = self.telemetry_path(shard_hash)
+        _atomic_write_text(path, canonical_json(summary) + "\n")
+        return path
+
+    def load_shard_telemetry(self, shard_hash: str) -> Optional[dict]:
+        """One shard's telemetry summary, or ``None`` when absent/corrupt."""
+        path = self.telemetry_path(shard_hash)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        return record if isinstance(record, dict) else None

@@ -19,9 +19,12 @@ Burst delivery offers two paths with one determinism contract:
 
 Per-link RNG streams are consumed identically on both paths (the grid
 draws per link, in user order, from each link's own streams), and the
-shared decode stream is only touched inside listener callbacks — which
-run in the same relative order on both paths — so a run is
-byte-identical whichever path delivers its bursts.  The batched path is
+decode stream is only touched inside listener callbacks — which run in
+the same relative order on both paths — so a run is byte-identical
+whichever path delivers its bursts.  With
+:attr:`DeploymentConfig.per_link_decode` the decode draws too come from
+per-link streams, making every user's outcome independent of the rest
+of the population — the property the fleet shard runner relies on.  The batched path is
 the default for multi-mobile (fleet) deployments; ``REPRO_FLEET_PATH=
 scalar`` selects the per-mobile reference loop.
 """
@@ -57,6 +60,12 @@ class DeploymentConfig:
     frame: FrameConfig = field(default_factory=FrameConfig)
     rach: RachConfig = field(default_factory=RachConfig)
     trace_enabled: bool = True
+    #: Give every (cell, mobile) link its own decode RNG stream instead
+    #: of the historical shared ``"uplink"`` stream.  Makes per-user
+    #: outcomes independent of which other users share the deployment —
+    #: required by the fleet stack so shard runs are byte-identical to
+    #: the unsharded population.
+    per_link_decode: bool = False
 
 
 class Deployment:
@@ -67,7 +76,9 @@ class Deployment:
         self.sim = Simulator()
         self.rng = RngRegistry(self.config.master_seed)
         self.channel = Channel(self.config.channel, self.rng)
-        self.links = LinkEngine(self.channel, self.rng)
+        self.links = LinkEngine(
+            self.channel, self.rng, per_link_decode=self.config.per_link_decode
+        )
         self.trace = TraceRecorder(enabled=self.config.trace_enabled)
         self.metrics = MetricsRecorder()
         #: Ambient telemetry hub (wall-clock spans/counters only — it

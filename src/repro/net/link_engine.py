@@ -48,10 +48,15 @@ class LinkEngine:
     Reproducibility across refactors rests on every path consuming RNG
     draws in a fixed, documented order:
 
-    * The decode stream (registry key ``"uplink"``, kept for seed
-      compatibility with existing traces) backs *both*
-      :meth:`uplink_success` and :meth:`downlink_success` — exactly one
-      uniform draw per decode attempt, in call order.
+    * The decode stream backs *both* :meth:`uplink_success` and
+      :meth:`downlink_success` — exactly one uniform draw per decode
+      attempt, in call order.  By default all links share one stream
+      (registry key ``"uplink"``, kept for seed compatibility with
+      existing traces).  With ``per_link_decode=True`` each link draws
+      from its own stream (key ``"decode/{link_id}"``) so one user's
+      decode attempts never perturb another's — the property that makes
+      a fleet population separable into shards with byte-identical
+      per-user results (see :mod:`repro.fleet`).
     * A measured burst of ``n`` dwells consumes, from the link's own
       streams and in this order: ``n`` shadowing normals (one real
       innovation, ``n - 1`` zero-innovation draws at the shared burst
@@ -61,9 +66,18 @@ class LinkEngine:
       identically.
     """
 
-    def __init__(self, channel: Channel, rng_registry: RngRegistry) -> None:
+    def __init__(
+        self,
+        channel: Channel,
+        rng_registry: RngRegistry,
+        per_link_decode: bool = False,
+    ) -> None:
         self.channel = channel
-        self._decode_rng: np.random.Generator = rng_registry.stream("uplink")
+        self._rng_registry = rng_registry
+        self._per_link_decode = per_link_decode
+        self._decode_rng: Optional[np.random.Generator] = (
+            None if per_link_decode else rng_registry.stream("uplink")
+        )
         #: Uplink transmit power of the mobile, dBm.  Handsets run well
         #: below the base station's EIRP.
         self.mobile_tx_power_dbm = 5.0
@@ -73,6 +87,11 @@ class LinkEngine:
         # Ambient telemetry: burst evaluation is the wall-clock hot
         # path, so spans are dispatched behind an ``enabled`` check.
         self._telemetry = _telemetry.current()
+
+    def _decode_stream(self, link: str) -> np.random.Generator:
+        if self._per_link_decode:
+            return self._rng_registry.stream(f"decode/{link}")
+        return self._decode_rng
 
     @staticmethod
     def link_id(cell_id: str, mobile_id: str) -> str:
@@ -363,7 +382,8 @@ class LinkEngine:
             station, mobile_id, mobile_pose, rx_gain_fn, rx_beam, tx_beam, time_s
         )
         probability = station.link_budget.packet_success_probability(rss)
-        return bool(self._decode_rng.random() < probability)
+        stream = self._decode_stream(self.link_id(station.cell_id, mobile_id))
+        return bool(stream.random() < probability)
 
     # ---------------------------------------------------------------- uplink
     def uplink_rss(
@@ -418,4 +438,5 @@ class LinkEngine:
         probability = station.link_budget.packet_success_probability(
             rss + extra_margin_db
         )
-        return bool(self._decode_rng.random() < probability)
+        stream = self._decode_stream(self.link_id(station.cell_id, mobile_id))
+        return bool(stream.random() < probability)

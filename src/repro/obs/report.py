@@ -51,18 +51,33 @@ def load_telemetry(path: PathLike) -> dict:
     """One telemetry summary from a file or a campaign directory.
 
     A directory may be a campaign output root (summaries under
-    ``<dir>/telemetry/`` are merged) or the telemetry directory itself
-    (its ``*.json`` files are merged).  A file must be a summary written
-    by :func:`write_telemetry` (or a campaign cell sidecar).
+    ``<dir>/telemetry/`` are merged), a sharded fleet output root
+    (``*.telemetry.json`` sidecars next to the artifacts — including
+    per-shard sidecars under ``<dir>/shards/`` — are merged), or the
+    telemetry directory itself (its ``*.json`` files are merged).  A
+    file must be a summary written by :func:`write_telemetry` (or a
+    campaign cell / fleet shard sidecar).
     """
     target = Path(path)
     if target.is_dir():
         telemetry_dir = target / TELEMETRY_DIR_NAME
-        # Fallback: the telemetry dir itself (campaign manifests are
-        # not summaries, keep the friendly error for no-telemetry runs).
-        files = sorted(telemetry_dir.glob("*.json")) or sorted(
-            f for f in target.glob("*.json") if f.name != "manifest.json"
-        )
+        files = sorted(telemetry_dir.glob("*.json"))
+        if not files:
+            # Fleet sidecar convention: summaries ride next to the
+            # artifacts they describe, one `<name>.telemetry.json` per
+            # run or per shard.
+            files = sorted(target.glob("*.telemetry.json")) + sorted(
+                (target / "shards").glob("*.telemetry.json")
+            )
+        if not files:
+            # Fallback: the telemetry dir itself (manifests and merged
+            # fleet artifacts are not summaries, keep the friendly
+            # error for no-telemetry runs).
+            files = sorted(
+                f
+                for f in target.glob("*.json")
+                if f.name not in ("manifest.json", "fleet.json")
+            )
         if not files:
             raise ObsError(
                 f"{target}: no telemetry summaries under "

@@ -318,3 +318,267 @@ class TestFleetCli:
         bogus.write_text("{}", encoding="utf-8")
         assert main(["fleet", "summarize", "--artifact", str(bogus)]) == 2
         assert "not a fleet artifact" in capsys.readouterr().err
+
+
+class TestShardPartition:
+    def test_partition_covers_population_disjointly(self):
+        from repro.fleet import partition_fleet
+
+        spec = small_spec(n_users=24)
+        shards = partition_fleet(spec, 5)
+        seen = []
+        for shard in shards:
+            seen.extend(shard.user_indices())
+        assert sorted(seen) == list(range(24))
+
+    def test_assignment_is_order_independent(self):
+        """Shard membership depends only on the user's derived seed."""
+        from repro.fleet import partition_fleet
+        from repro.fleet.spec import user_seed
+
+        spec = small_spec(n_users=16)
+        for shard in partition_fleet(spec, 4):
+            for index in shard.user_indices():
+                assert (
+                    user_seed(spec.fleet_hash, index) % 4
+                    == shard.shard_index
+                )
+
+    def test_shard_synthesis_matches_full_synthesis(self):
+        from repro.fleet import partition_fleet
+
+        spec = small_spec(n_users=12)
+        full = {user.user_id: user for user in synthesize_users(spec)}
+        for shard in partition_fleet(spec, 3):
+            for user in shard.synthesize():
+                assert user == full[user.user_id]
+
+    def test_shard_hashes_distinct_and_stable(self):
+        from repro.fleet import partition_fleet
+
+        spec = small_spec()
+        hashes = [s.shard_hash for s in partition_fleet(spec, 3)]
+        assert len(set(hashes)) == 3
+        assert hashes == [s.shard_hash for s in partition_fleet(spec, 3)]
+
+    def test_invalid_shard_counts_rejected(self):
+        from repro.fleet import partition_fleet
+
+        spec = small_spec(n_users=4)
+        with pytest.raises(SpecError):
+            partition_fleet(spec, 0)
+        with pytest.raises(SpecError):
+            partition_fleet(spec, -1)
+        with pytest.raises(SpecError):
+            partition_fleet(spec, 5)
+
+    def test_shard_round_trip(self):
+        from repro.fleet import FleetShard, partition_fleet
+
+        shard = partition_fleet(small_spec(), 2)[1]
+        clone = FleetShard.from_dict(shard.to_dict())
+        assert clone.shard_hash == shard.shard_hash
+        assert clone.user_indices() == shard.user_indices()
+
+
+class TestFleetAccumulator:
+    def test_exact_aggregates_match_aggregate_users(self):
+        from repro.fleet import FleetAccumulator, aggregate_users
+        from repro.fleet.metrics import user_result
+        from repro.fleet.runner import run_built_fleet
+
+        spec = small_spec(n_users=5, duration_s=1.0)
+        trial = run_fleet_trial(spec)
+        accumulator = FleetAccumulator(spec.duration_s)
+        accumulator.add_users(trial.users)
+        assert accumulator.aggregates() == trial.aggregates
+
+    def test_merge_matches_single_pass(self):
+        from repro.fleet import FleetAccumulator
+
+        spec = small_spec(n_users=8, duration_s=1.0)
+        trial = run_fleet_trial(spec)
+        whole = FleetAccumulator(spec.duration_s)
+        whole.add_users(trial.users)
+        left = FleetAccumulator(spec.duration_s)
+        left.add_users(trial.users[:3])
+        right = FleetAccumulator(spec.duration_s)
+        right.add_users(trial.users[3:])
+        left.merge(right)
+        assert left.aggregates() == whole.aggregates()
+
+    def test_streaming_marks_inexact_but_totals_match(self):
+        from repro.fleet import FleetAccumulator
+
+        spec = small_spec(n_users=8, duration_s=1.0)
+        trial = run_fleet_trial(spec)
+        bounded = FleetAccumulator(spec.duration_s, capacity=8)
+        bounded.add_users(trial.users)
+        aggregates = bounded.aggregates()
+        assert aggregates["totals"] == trial.aggregates["totals"]
+        for key, summary in aggregates["summary"].items():
+            assert summary["count"] == trial.aggregates["summary"][key]["count"]
+
+    def test_mismatched_merge_rejected(self):
+        from repro.fleet import FleetAccumulator
+
+        base = FleetAccumulator(2.0)
+        with pytest.raises(SpecError):
+            base.merge(FleetAccumulator(3.0))
+        with pytest.raises(SpecError):
+            base.merge(FleetAccumulator(2.0, capacity=16))
+
+
+class TestShardStore:
+    def test_initialize_refuses_different_sharding(self, tmp_path):
+        from repro.campaign.store import StoreError
+        from repro.fleet import FleetShardStore, partition_fleet
+
+        spec = small_spec()
+        shards = partition_fleet(spec, 2)
+        hashes = {s.shard_index: s.shard_hash for s in shards}
+        store = FleetShardStore(tmp_path)
+        store.initialize(spec, 2, hashes, stream=False, capacity=None)
+        # Same arithmetic is the resume path.
+        store.initialize(spec, 2, hashes, stream=False, capacity=None)
+        with pytest.raises(StoreError):
+            store.initialize(spec, 2, hashes, stream=True, capacity=64)
+
+    def test_completed_hashes_ignores_corrupt_and_sidecars(self, tmp_path):
+        from repro.fleet import FleetShardStore
+
+        store = FleetShardStore(tmp_path)
+        store.write_shard("abc123", {"shard_hash": "abc123"})
+        store.write_shard_telemetry("abc123", {"spans": {}})
+        (tmp_path / "shards" / "broken.json").write_text("{nope")
+        (tmp_path / "shards" / "wronghash.json").write_text(
+            json.dumps({"shard_hash": "other"})
+        )
+        assert store.completed_hashes() == {"abc123"}
+
+
+class TestShardedRunner:
+    def test_failed_shard_raises_with_traceback(self, tmp_path, monkeypatch):
+        from repro.fleet import FleetError, run_fleet_sharded
+        from repro.fleet import runner as runner_mod
+
+        def boom(shard, stream=False, capacity=None, progress=None):
+            raise RuntimeError("shard exploded")
+
+        monkeypatch.setattr(runner_mod, "run_shard", boom)
+        with pytest.raises(FleetError) as excinfo:
+            run_fleet_sharded(small_spec(), 2, out_dir=tmp_path)
+        assert "shard exploded" in str(excinfo.value)
+        assert len(excinfo.value.failures) == 2
+
+    def test_invalid_workers_rejected(self):
+        from repro.fleet import FleetError, run_fleet_sharded
+
+        with pytest.raises(FleetError):
+            run_fleet_sharded(small_spec(), 2, workers=0)
+
+    def test_streaming_run_drops_users_and_artifact_is_canonical(
+        self, tmp_path
+    ):
+        from repro.fleet import load_sharded_fleet, run_fleet_sharded
+
+        spec = small_spec(n_users=6, duration_s=1.0)
+        result = run_fleet_sharded(
+            spec, 2, out_dir=tmp_path, stream=True, capacity=8
+        )
+        assert result.stream is True
+        assert result.merged.users is None
+        record = json.loads((tmp_path / "fleet.json").read_text())
+        assert record["users"] is None
+        assert record["aggregates"]["exact"] in (True, False)
+        loaded = load_sharded_fleet(tmp_path)
+        assert loaded.aggregates == result.merged.aggregates
+
+    def test_load_sharded_fleet_incomplete_raises(self, tmp_path):
+        from repro.campaign.store import StoreError
+        from repro.fleet import load_sharded_fleet, run_fleet_sharded
+
+        run_fleet_sharded(small_spec(), 3, out_dir=tmp_path)
+        (tmp_path / "fleet.json").unlink()
+        shard_files = sorted((tmp_path / "shards").glob("*.json"))
+        shard_files[0].unlink()
+        with pytest.raises(StoreError, match="incomplete"):
+            load_sharded_fleet(tmp_path)
+
+    def test_shard_progress_events_aggregate(self, tmp_path):
+        from repro.fleet import run_fleet_sharded
+        from repro.fleet.progress import FleetProgress
+
+        class Recording(FleetProgress):
+            def __init__(self):
+                self.shards_done = []
+                self.runs = []
+                self.finished = None
+
+            def on_run(self, sim_now_s, duration_s):
+                self.runs.append(sim_now_s)
+
+            def on_shard_done(self, done, total, elapsed_s):
+                self.shards_done.append((done, total))
+
+            def on_finish(self, users, elapsed_s):
+                self.finished = users
+
+        reporter = Recording()
+        spec = small_spec(n_users=6, duration_s=1.0)
+        run_fleet_sharded(spec, 3, out_dir=tmp_path, progress=reporter)
+        assert reporter.shards_done == [(1, 3), (2, 3), (3, 3)]
+        assert reporter.finished == spec.n_users
+        assert reporter.runs  # run-phase events were aggregated
+
+
+class TestShardedCli:
+    def _flags(self):
+        return ["fleet", "run", "--users", "6", "--duration", "1.0",
+                "--quiet"]
+
+    def test_shards_below_one_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main([*self._flags(), "--shards", "0"]) == 2
+        assert "n_shards must be >= 1" in capsys.readouterr().err
+
+    def test_shards_above_users_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main([*self._flags(), "--shards", "7"]) == 2
+        assert "cannot split" in capsys.readouterr().err
+
+    def test_workers_without_shards_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main([*self._flags(), "--workers", "2"]) == 2
+        assert "--workers requires --shards" in capsys.readouterr().err
+
+    def test_sharded_run_and_summarize_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sharded"
+        assert main([*self._flags(), "--shards", "2", "--telemetry",
+                     "--out", str(out)]) == 0
+        run_output = capsys.readouterr().out
+        assert "6 users" in run_output
+        assert "hottest telemetry spans" in run_output
+        assert (out / "manifest.json").exists()
+        assert (out / "fleet.json").exists()
+        assert len(list((out / "shards").glob("*.telemetry.json"))) == 2
+        assert main(["fleet", "summarize", "--artifact", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "6 users" in summary
+        # The per-shard sidecars fold into the summarize view.
+        assert "hottest telemetry spans" in summary
+
+    def test_obs_top_reads_shard_sidecars(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sharded"
+        assert main([*self._flags(), "--shards", "2", "--telemetry",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "top", str(out)]) == 0
+        assert "fleet.run" in capsys.readouterr().out

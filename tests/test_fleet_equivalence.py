@@ -7,6 +7,9 @@ Three layers of evidence, mirroring the PR 2 scalar/vectorized suite:
   every RNG stream in the same state;
 * fleet-run equivalence — a fleet artifact is byte-identical across
   ``REPRO_FLEET_PATH=scalar|batch`` and across campaign worker counts;
+* sharded equivalence — a sharded run's merged artifact is
+  byte-identical to the unsharded run across shard counts, worker
+  counts and burst paths (the PR 7 correctness pin);
 * fresh-process repeatability — the same spec produces the same bytes
   in a brand-new interpreter.
 """
@@ -304,6 +307,94 @@ class TestProgressEquivalence:
         assert reporter.finished == spec.n_users
         # The run phase ends exactly on the spec duration.
         assert reporter.runs[-1][0] == spec.duration_s
+
+
+class TestShardedEquivalence:
+    """Sharding is an execution detail: merged bytes == unsharded bytes."""
+
+    @pytest.fixture(scope="class")
+    def unsharded_bytes(self):
+        return canonical_json(run_fleet_trial(fleet_spec()).to_dict())
+
+    @pytest.mark.parametrize("path", ["batch", "scalar"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matrix_byte_identical(
+        self, shards, workers, path, unsharded_bytes, tmp_path
+    ):
+        from repro.fleet import run_fleet_sharded
+
+        with env_override("REPRO_FLEET_PATH", path):
+            expected = canonical_json(run_fleet_trial(fleet_spec()).to_dict())
+            out = tmp_path / f"s{shards}w{workers}{path}"
+            result = run_fleet_sharded(
+                fleet_spec(), shards, out_dir=out, workers=workers
+            )
+        # Byte-identical regardless of partitioning and pool size...
+        merged = (out / "fleet.json").read_text()[:-1]
+        assert merged == expected
+        assert canonical_json(result.merged.to_dict()) == expected
+        # ...and regardless of the burst-delivery path.
+        assert expected == unsharded_bytes
+
+    def test_shard_artifacts_partition_users(self, tmp_path):
+        from repro.fleet import partition_fleet, run_fleet_sharded
+
+        spec = fleet_spec()
+        run_fleet_sharded(spec, 3, out_dir=tmp_path, workers=1)
+        shard_users = []
+        for shard in partition_fleet(spec, 3):
+            record = json.loads(
+                (tmp_path / "shards" / f"{shard.shard_hash}.json").read_text()
+            )
+            shard_users.extend(u["user_id"] for u in record["users"])
+        assert sorted(shard_users) == [
+            f"ue{k:05d}" for k in range(spec.n_users)
+        ]
+
+    def test_resume_uses_existing_shards(self, tmp_path):
+        from repro.fleet import run_fleet_sharded
+
+        first = run_fleet_sharded(fleet_spec(), 4, out_dir=tmp_path)
+        assert first.executed == 4 and first.skipped == 0
+        again = run_fleet_sharded(fleet_spec(), 4, out_dir=tmp_path)
+        assert again.executed == 0 and again.skipped == 4
+        assert canonical_json(again.merged.to_dict()) == canonical_json(
+            first.merged.to_dict()
+        )
+
+    def test_cli_sharded_fresh_process_identical(self, tmp_path):
+        """Fresh-interpreter sharded runs repeat byte-for-byte and match
+        the unsharded CLI artifact."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        flags = ["--users", "6", "--duration", "1.0", "--seed", "33"]
+        merged = []
+        for run in range(2):
+            out = tmp_path / f"sharded-{run}"
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "fleet", "run", *flags,
+                    "--shards", "3", "--workers", "2", "--out", str(out),
+                    "--quiet",
+                ],
+                env=env, capture_output=True, text=True,
+            )
+            assert result.returncode == 0, result.stderr
+            merged.append((out / "fleet.json").read_bytes())
+        assert merged[0] == merged[1]
+        flat = tmp_path / "flat.json"
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "fleet", "run", *flags,
+                "--out", str(flat), "--quiet",
+            ],
+            env=env, capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert flat.read_bytes() == merged[0]
 
 
 class TestFreshProcessRepeat:
