@@ -16,9 +16,13 @@ path plus derived speedups at each population size; the acceptance
 target is the batch path beating the scalar path >= 3x at 64 users.
 The determinism contract is proven on real artifacts too: one fleet
 spec is run per delivery path and the canonical JSON results are
-byte-compared (``artifacts_identical``), and a sharded run's merged
+byte-compared (``artifacts_identical``), a sharded run's merged
 artifact is byte-compared against the unsharded run
-(``sharded_identical``).
+(``sharded_identical``), and a dense-corridor fleet is byte-compared
+across burst scheduling modes — coalesced + cell index vs the legacy
+per-station path (``sched_identical``).  The ``fleet.dense.c64``
+cases time that corridor fleet under both modes
+(``derived.dense_fleet_speedup``).
 
 Sharded cases (``fleet.sharded.*``) run :func:`~repro.fleet.runner.
 run_fleet_sharded` on the campaign worker pool with streaming metric
@@ -115,6 +119,22 @@ def _bench_spec(n_users: int, duration_s: float):
     )
 
 
+def _dense_spec(n_users: int, n_cells: int, duration_s: float):
+    """The dense-topology fleet: walkers spread along an N-cell corridor."""
+    from repro.fleet.experiment import fleet_spec_for_cell
+
+    return fleet_spec_for_cell(
+        "uniform",
+        scenario="walk",
+        seed=1,
+        n_users=n_users,
+        duration_s=duration_s,
+        name=f"bench-dense-{n_cells}",
+        topology="corridor",
+        n_cells=n_cells,
+    )
+
+
 def _run_fleet(n_users: int, duration_s: float) -> None:
     from repro.fleet import run_fleet_trial
 
@@ -175,6 +195,70 @@ def _check_artifact_identity(n_users: int, duration_s: float) -> bool:
         with fleet_path(mode):
             payloads.append(canonical_json(run_fleet_trial(spec).to_dict()))
     return payloads[0] == payloads[1]
+
+
+def _check_sched_identity(n_users: int, n_cells: int, duration_s: float) -> bool:
+    """Byte-compare coalesced vs legacy scheduling on a corridor fleet."""
+    from repro.bench.suites import burst_sched, cell_index
+    from repro.campaign.spec import canonical_json
+    from repro.fleet import run_fleet_trial
+
+    spec = _dense_spec(n_users, n_cells, duration_s)
+    payloads = []
+    for sched, index in (("coalesced", "on"), ("legacy", "off")):
+        with burst_sched(sched), cell_index(index):
+            payloads.append(canonical_json(run_fleet_trial(spec).to_dict()))
+    return payloads[0] == payloads[1]
+
+
+def _bench_dense_fleet(
+    results: List[TimingResult],
+    repeats: int,
+    warmup: int,
+    n_users: int,
+    n_cells: int,
+    duration_s: float,
+) -> None:
+    """Dense corridor fleet under the coalesced + cell-index stack.
+
+    One case per scheduling mode; ``derived.dense_fleet_speedup``
+    reports coalesced-over-legacy on this population.  Kept in quick
+    mode (identical meta) so the CI gate covers the dense path.
+    """
+    from repro.bench.suites import burst_sched, cell_index
+
+    meta = {
+        "topology": "corridor",
+        "n_cells": n_cells,
+        "n_users": n_users,
+        "duration_s": duration_s,
+    }
+    with burst_sched("legacy"), cell_index("off"):
+        results.append(
+            time_fn(
+                f"fleet.dense.c{n_cells}.legacy",
+                lambda: _run_dense(n_users, n_cells, duration_s),
+                repeats,
+                warmup,
+                meta,
+            )
+        )
+    with burst_sched("coalesced"), cell_index("on"):
+        results.append(
+            time_fn(
+                f"fleet.dense.c{n_cells}.coalesced",
+                lambda: _run_dense(n_users, n_cells, duration_s),
+                repeats,
+                warmup,
+                meta,
+            )
+        )
+
+
+def _run_dense(n_users: int, n_cells: int, duration_s: float) -> None:
+    from repro.fleet import run_fleet_trial
+
+    run_fleet_trial(_dense_spec(n_users, n_cells, duration_s))
 
 
 def _check_sharded_identity(n_users: int, duration_s: float) -> bool:
@@ -278,6 +362,9 @@ def run_fleet_bench(
     sharded_cases = SHARDED_CASES_QUICK if quick else SHARDED_CASES
     results: List[TimingResult] = []
     _bench_scaling(results, n_repeats, n_warmup, user_counts, duration_s)
+    _bench_dense_fleet(
+        results, n_repeats, n_warmup, n_users=16, n_cells=64, duration_s=1.0
+    )
     rss_kb: Dict[str, int] = {}
     _bench_sharded(results, n_repeats, n_warmup, sharded_cases, rss_kb)
     by_name = {result.name: result for result in results}
@@ -314,11 +401,18 @@ def run_fleet_bench(
             "speedups": speedups,
             "worker_scaling": worker_scaling,
             "peak_rss": {"unit": "kb", "by_users": rss_kb},
+            "dense_fleet_speedup": speedup(
+                by_name["fleet.dense.c64.legacy"],
+                by_name["fleet.dense.c64.coalesced"],
+            ),
             "artifacts_identical": _check_artifact_identity(
                 n_users=8, duration_s=0.5 if quick else 1.0
             ),
             "sharded_identical": _check_sharded_identity(
                 n_users=8, duration_s=0.5 if quick else 1.0
+            ),
+            "sched_identical": _check_sched_identity(
+                n_users=8, n_cells=16, duration_s=0.5 if quick else 1.0
             ),
         },
     }

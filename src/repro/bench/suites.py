@@ -7,10 +7,19 @@ end:
 
 * ``fig2a.search`` — the standard Fig. 2a search trial (bursts stop
   once the beam is found; engine-bound).
-* ``fig2a.burst_heavy`` — the burst-heavy variant this PR's acceptance
-  targets: the same three-cell geometry with FR2-dense 36-SSB station
-  codebooks and a mobile that measures every burst of every cell, so
-  the wall clock lives in burst evaluation.
+* ``fig2a.burst_heavy`` — the burst-heavy variant of the same
+  three-cell geometry with FR2-dense 36-SSB station codebooks and a
+  mobile that measures every burst of every cell, so the wall clock
+  lives in burst evaluation.
+* ``dense.c{64,256,1024}`` — the dense-corridor macro: N
+  phase-staggered cells and a population spread along the corridor,
+  timed under the legacy per-station scheduling (no spatial pruning)
+  and under the coalesced + cell-index stack.  The derived
+  ``dense.c256`` speedup is the acceptance point (>= 2x).
+* ``engine.events.drain`` — raw event-loop throughput over no-op
+  events with unique timestamps (``derived.events_per_s``), so a
+  scheduler-layer regression is visible even when macros hide it
+  behind channel work.
 
 The suite also proves the determinism contract on real artifacts: it
 runs a small fig2a campaign once per burst path and byte-compares the
@@ -46,12 +55,35 @@ BENCH_FORMAT = 1
 BENCH_FILENAME = "BENCH_phy.json"
 
 
+#: Cell counts of the dense-topology scaling curve; 256 is the
+#: acceptance point (coalesced + index >= 2x the legacy reference).
+DENSE_CELL_COUNTS = (64, 256, 1024)
+
+
 @contextlib.contextmanager
 def burst_path(mode: str):
     """Force the LinkEngine burst path for deployments built inside."""
     if mode not in ("scalar", "vectorized"):
         raise ValueError(f"unknown burst path {mode!r}")
     with env_override("REPRO_BURST_PATH", mode):
+        yield
+
+
+@contextlib.contextmanager
+def burst_sched(mode: str):
+    """Force the burst scheduling mode for deployments built inside."""
+    if mode not in ("coalesced", "legacy"):
+        raise ValueError(f"unknown burst scheduling mode {mode!r}")
+    with env_override("REPRO_BURST_SCHED", mode):
+        yield
+
+
+@contextlib.contextmanager
+def cell_index(mode: str):
+    """Force the spatial cell index on or off for deployments built inside."""
+    if mode not in ("on", "off"):
+        raise ValueError(f"unknown cell index mode {mode!r}")
+    with env_override("REPRO_CELL_INDEX", mode):
         yield
 
 
@@ -280,6 +312,105 @@ def _bench_fig2a_burst_heavy(
     )
 
 
+def _run_dense_corridor(n_cells: int, duration_s: float) -> None:
+    """One dense-corridor session: N phase-staggered cells, 4 sweepers.
+
+    The mobiles are spread uniformly along the corridor (the fleet
+    spawn model for this topology), so arbitration admits a mix of
+    nearby stations (measured) and provably out-of-reach ones (pruned
+    by the spatial index when it is on).
+    """
+    from repro.experiments.scenarios import build_corridor_deployment
+    from repro.geometry.pose import Pose
+    from repro.geometry.vectors import Vec3
+    from repro.mobility.base import StaticPose
+    from repro.net.mobile import Mobile
+    from repro.phy.codebook import Codebook
+
+    deployment = build_corridor_deployment(11, n_cells=n_cells)
+    codebook = Codebook.uniform_azimuth(20.0)
+    span = (n_cells - 1) * 50.0
+    for i in range(4):
+        mobile = Mobile(
+            f"ue{i}",
+            StaticPose(Pose(Vec3(span * (i + 0.5) / 4.0, 0.0, 1.5), 0.0)),
+            codebook,
+        )
+        mobile.attach_listener(_SweepListener(len(codebook)))
+        deployment.add_mobile(mobile)
+    deployment.run(duration_s)
+
+
+def _bench_dense_corridor(
+    results: List[TimingResult], repeats: int, warmup: int, duration_s: float
+) -> None:
+    """Dense-topology macro: the coalesced+index stack vs the legacy path.
+
+    ``legacy`` is the pre-coalescing configuration (one PeriodicTask
+    per station, no spatial pruning); ``coalesced`` is the default
+    stack (one event per shared SSB tick, multi-station batched
+    measurement, cell index on).  Both produce byte-identical
+    artifacts — the equivalence suite pins that — so the ratio is pure
+    scheduling + pruning overhead.
+    """
+    for n_cells in DENSE_CELL_COUNTS:
+        meta = {
+            "topology": "corridor",
+            "n_cells": n_cells,
+            "phase_slots": 8,
+            "n_users": 4,
+            "duration_s": duration_s,
+        }
+        with burst_sched("legacy"), cell_index("off"):
+            results.append(
+                time_fn(
+                    f"dense.c{n_cells}.legacy",
+                    lambda n=n_cells: _run_dense_corridor(n, duration_s),
+                    repeats,
+                    warmup,
+                    meta,
+                )
+            )
+        with burst_sched("coalesced"), cell_index("on"):
+            results.append(
+                time_fn(
+                    f"dense.c{n_cells}.coalesced",
+                    lambda n=n_cells: _run_dense_corridor(n, duration_s),
+                    repeats,
+                    warmup,
+                    meta,
+                )
+            )
+
+
+def _bench_engine_events(
+    results: List[TimingResult], repeats: int, warmup: int, n_events: int
+) -> None:
+    """Raw event-loop throughput: drain ``n_events`` no-op events.
+
+    Unique timestamps, no coalescing opportunity — this times the heap
+    pop / dispatch floor itself, so scheduler-layer regressions show up
+    here even when the macro cases hide them behind channel work.
+    """
+    from repro.sim.engine import Simulator
+
+    def drain() -> None:
+        sim = Simulator()
+
+        def noop() -> None:
+            pass
+
+        for k in range(n_events):
+            sim.schedule((k + 1) * 1e-5, noop, label="noop")
+        sim.run_until((n_events + 1) * 1e-5)
+
+    results.append(
+        time_fn(
+            "engine.events.drain", drain, repeats, warmup, {"n_events": n_events}
+        )
+    )
+
+
 def _check_artifact_identity(n_seeds: int) -> bool:
     """Run a small fig2a campaign per burst path; compare artifact bytes."""
     from repro.campaign.runner import run_campaign
@@ -334,6 +465,12 @@ def run_bench(
     _bench_fig2a_burst_heavy(
         results, n_repeats, n_warmup, duration_s=2.0 if quick else 6.0
     )
+    _bench_dense_corridor(
+        results, n_repeats, n_warmup, duration_s=0.5 if quick else 2.0
+    )
+    _bench_engine_events(
+        results, n_repeats, n_warmup, n_events=20_000 if quick else 100_000
+    )
     by_name = {result.name: result for result in results}
     derived = {
         pair: speedup(by_name[f"{pair}.scalar"], by_name[f"{pair}.vectorized"])
@@ -346,6 +483,12 @@ def run_bench(
             "fig2a.burst_heavy",
         )
     }
+    for n_cells in DENSE_CELL_COUNTS:
+        derived[f"dense.c{n_cells}"] = speedup(
+            by_name[f"dense.c{n_cells}.legacy"],
+            by_name[f"dense.c{n_cells}.coalesced"],
+        )
+    drain = by_name["engine.events.drain"]
     payload: Dict[str, object] = {
         "format": BENCH_FORMAT,
         "suite": "phy",
@@ -356,6 +499,8 @@ def run_bench(
         "results": results_payload(results),
         "derived": {
             "speedups": derived,
+            # Raw heap-pop/dispatch throughput of the event loop.
+            "events_per_s": int(drain.meta["n_events"]) / drain.median_s,
             # Enabled-telemetry slowdown on the burst-heavy macro
             # (1.0 = free); the *disabled* cost is gated separately by
             # `repro obs gate` against the committed baseline.

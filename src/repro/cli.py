@@ -603,6 +603,9 @@ def _fleet_spec_from_args(args: argparse.Namespace):
         n_users=args.users,
         duration_s=args.duration,
         name=args.name,
+        topology=args.topology,
+        n_cells=args.cells,
+        cell_pitch_m=args.pitch,
     )
     return spec
 
@@ -717,9 +720,21 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_top(args: argparse.Namespace) -> int:
-    from repro.obs import counter_rows, load_telemetry, top_rows
+    from repro.obs import counter_rows, filter_summary, load_telemetry, top_rows
 
     summary = load_telemetry(args.path)
+    if args.events:
+        # Engine's per-label instrumentation only: where simulated-event
+        # time goes (sim.event.* spans) and what fires (sim.events.*).
+        summary = filter_summary(summary, "sim.event.", "sim.events.")
+        headers, rows = top_rows(summary, args.limit)
+        print(format_table(
+            headers, rows, title=f"hottest event spans [{args.path}]"
+        ))
+        headers, rows = counter_rows(summary, args.limit)
+        print()
+        print(format_table(headers, rows, title="event counters (sim.events.*)"))
+        return 0
     headers, rows = top_rows(summary, args.limit)
     print(format_table(headers, rows, title=f"hottest spans [{args.path}]"))
     if args.counters:
@@ -785,6 +800,14 @@ def _add_fleet_shape_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=4.0,
                         help="simulated seconds")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--topology", default="street",
+                        choices=("street", "corridor"),
+                        help="street = the paper's 3-cell grid; corridor = "
+                             "a dense linear deployment (--cells stations)")
+    parser.add_argument("--cells", type=int, default=None,
+                        help="station count (corridor topology; default 64)")
+    parser.add_argument("--pitch", type=float, default=50.0,
+                        help="corridor cell spacing in meters")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1013,6 +1036,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows to show")
     obs_top.add_argument("--counters", action="store_true",
                          help="print the counter table too")
+    obs_top.add_argument("--events", action="store_true",
+                         help="engine view: hottest sim.event.* spans and "
+                              "sim.events.* fire counters only")
     obs_top.set_defaults(func=_cmd_obs_top)
 
     obs_diff = obs_sub.add_parser(

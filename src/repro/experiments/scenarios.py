@@ -26,6 +26,7 @@ same decorators and run through every experiment unchanged.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Optional, Tuple
 
@@ -194,6 +195,7 @@ def build_street_grid_deployment(
             rach=base.rach,
             trace_enabled=base.trace_enabled,
             per_link_decode=base.per_link_decode,
+            horizon_s=base.horizon_s,
         )
     )
     beamwidth = BS_BEAMWIDTH_DEG if bs_beamwidth_deg is None else bs_beamwidth_deg
@@ -210,6 +212,81 @@ def build_street_grid_deployment(
                 tx_power_dbm=BS_TX_POWER_DBM,
                 frame=base.frame,
                 ssb_phase_s=STATION_PHASES_S[cell_id],
+            )
+        )
+    return deployment
+
+
+def build_corridor_deployment(
+    seed: int,
+    config: Optional[DeploymentConfig] = None,
+    n_cells: int = 64,
+    cell_pitch_m: float = 50.0,
+    phase_slots: int = 8,
+    pathloss_exponent: float = 3.2,
+    bs_beamwidth_deg: Optional[float] = None,
+) -> Deployment:
+    """A dense urban corridor: ``n_cells`` stations along one street.
+
+    The scale-out counterpart of :func:`build_street_grid_deployment`:
+    stations sit every ``cell_pitch_m`` meters at the paper's 10 m
+    setback, cycling through ``phase_slots`` SSB phase offsets, with an
+    NLoS-grade path-loss exponent (default 3.2) so distant cells fall
+    below the detection floor — the regime the spatial cell index and
+    coalesced burst scheduling are built for.
+
+    Phase offsets are placed at *half-slot* positions,
+    ``(slot + 0.5) * period / phase_slots``, and validated to be
+    non-integer-millisecond: every protocol-layer delay (RACH, handover
+    timers) lives on an integer-millisecond lattice, so no foreign
+    event can land exactly on a shared burst tick — the condition under
+    which coalesced multi-station delivery is provably byte-identical
+    to per-station scheduling.
+    """
+    if n_cells < 2:
+        raise ValueError(f"need at least 2 cells, got {n_cells!r}")
+    if cell_pitch_m <= 0.0:
+        raise ValueError(f"cell pitch must be positive, got {cell_pitch_m!r}")
+    if phase_slots < 1:
+        raise ValueError(f"need at least 1 phase slot, got {phase_slots!r}")
+    base = config or DeploymentConfig()
+    channel = dataclasses.replace(
+        base.channel, pathloss_exponent=pathloss_exponent
+    )
+    period_s = base.frame.ssb_period_s
+    phases = [
+        (slot + 0.5) * period_s / phase_slots for slot in range(phase_slots)
+    ]
+    for phase in phases:
+        ms = phase * 1e3
+        if abs(ms - round(ms)) < 1e-9:
+            raise ValueError(
+                f"phase_slots={phase_slots} puts an SSB phase at "
+                f"{ms:.3f} ms — an integer-millisecond offset can collide "
+                f"with protocol events on a shared coalesced tick; choose "
+                f"a slot count whose half-slot phases are off-lattice"
+            )
+    deployment = Deployment(
+        DeploymentConfig(
+            master_seed=seed,
+            channel=channel,
+            frame=base.frame,
+            rach=base.rach,
+            trace_enabled=base.trace_enabled,
+            per_link_decode=base.per_link_decode,
+            horizon_s=base.horizon_s,
+        )
+    )
+    beamwidth = BS_BEAMWIDTH_DEG if bs_beamwidth_deg is None else bs_beamwidth_deg
+    for i in range(n_cells):
+        deployment.add_station(
+            BaseStation(
+                f"cell{i:04d}",
+                Pose(Vec3(i * cell_pitch_m, 10.0), heading=-math.pi / 2.0),
+                Codebook.uniform_azimuth(beamwidth, name=f"bs-cell{i:04d}"),
+                tx_power_dbm=BS_TX_POWER_DBM,
+                frame=base.frame,
+                ssb_phase_s=phases[i % phase_slots],
             )
         )
     return deployment

@@ -23,7 +23,8 @@ immediately valid campaign arms (``protocol_names`` is a live view).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.campaign.spec import SpecError
 from repro.fleet.runner import FleetTrialResult, run_fleet_trial
@@ -34,6 +35,8 @@ from repro.registry import register_experiment
 DEFAULT_N_USERS = 16
 DEFAULT_DURATION_S = 4.0
 DEFAULT_START_JITTER_S = 0.5
+#: Default corridor size for ``topology="corridor"`` cells.
+DEFAULT_CORRIDOR_CELLS = 64
 
 #: Registered profile mixes: name -> builder ``(scenario, overrides) ->
 #: tuple of UserProfile``.
@@ -130,21 +133,55 @@ def fleet_spec_for_cell(
     duration_s: float = DEFAULT_DURATION_S,
     overrides=None,
     name: str = "fleet-cell",
+    topology: str = "street",
+    n_cells: Optional[int] = None,
+    cell_pitch_m: float = 50.0,
+    phase_slots: int = 8,
+    pathloss_exponent: float = 3.2,
 ) -> FleetSpec:
-    """The :class:`FleetSpec` a campaign cell expands to."""
+    """The :class:`FleetSpec` a campaign cell expands to.
+
+    ``topology="corridor"`` swaps the paper's 3-cell street grid for a
+    dense ``n_cells``-station corridor (default
+    :data:`DEFAULT_CORRIDOR_CELLS`) and widens every profile's spawn
+    region to span it, so the population is spread along the whole
+    deployment instead of piling onto the first three cells.
+    """
     try:
         build = FLEET_MIXES[mix]
     except KeyError:
         raise SpecError(
             f"unknown fleet mix {mix!r}; known: {', '.join(sorted(FLEET_MIXES))}"
         ) from None
-    return FleetSpec(
+    profiles = build(scenario, dict(overrides or {}))
+    if topology == "corridor":
+        cells = DEFAULT_CORRIDOR_CELLS if n_cells is None else n_cells
+        span = (0.0, (cells - 1) * cell_pitch_m)
+        profiles = tuple(
+            dataclasses.replace(profile, spawn_x=span) for profile in profiles
+        )
+        return FleetSpec(
+            name=name,
+            n_users=n_users,
+            profiles=profiles,
+            seed=seed,
+            duration_s=duration_s,
+            n_cells=cells,
+            topology="corridor",
+            cell_pitch_m=cell_pitch_m,
+            phase_slots=phase_slots,
+            pathloss_exponent=pathloss_exponent,
+        )
+    spec = FleetSpec(
         name=name,
         n_users=n_users,
-        profiles=build(scenario, dict(overrides or {})),
+        profiles=profiles,
         seed=seed,
         duration_s=duration_s,
     )
+    if n_cells is not None:
+        spec = dataclasses.replace(spec, n_cells=n_cells)
+    return spec
 
 
 # ----------------------------------------------------------- experiment kind
@@ -172,6 +209,15 @@ def _run_fleet_cell(cell) -> dict:
         duration_s=float(cell.params.get("duration_s", DEFAULT_DURATION_S)),
         overrides=cell.overrides,
         name=f"fleet-{cell.scenario}-{cell.protocol}",
+        topology=str(cell.params.get("topology", "street")),
+        n_cells=(
+            None
+            if cell.params.get("n_cells") is None
+            else int(cell.params["n_cells"])
+        ),
+        cell_pitch_m=float(cell.params.get("cell_pitch_m", 50.0)),
+        phase_slots=int(cell.params.get("phase_slots", 8)),
+        pathloss_exponent=float(cell.params.get("pathloss_exponent", 3.2)),
     )
     return run_fleet_trial(spec).to_dict()
 

@@ -158,20 +158,37 @@ def build_fleet(
     shard workers use it to keep memory flat; traces are never part of
     fleet artifacts.
     """
-    from repro.experiments.scenarios import build_street_grid_deployment
+    from repro.experiments.scenarios import (
+        build_corridor_deployment,
+        build_street_grid_deployment,
+    )
     from repro.net.deployment import DeploymentConfig
     from repro.registry import SCENARIOS, make_codebook, make_protocol
 
     _log.info("building fleet %r: %d users, seed %d",
               spec.name, spec.n_users, spec.seed)
-    deployment = build_street_grid_deployment(
-        spec.seed,
-        config=DeploymentConfig(
-            trace_enabled=trace, per_link_decode=True
-        ),
-        n_cells=spec.n_cells,
-        bs_beamwidth_deg=spec.bs_beamwidth_deg,
+    # The run never advances past duration_s, so the spatial cell index
+    # may bound horizon-dependent trajectories over exactly that window.
+    config = DeploymentConfig(
+        trace_enabled=trace, per_link_decode=True, horizon_s=spec.duration_s
     )
+    if spec.topology == "corridor":
+        deployment = build_corridor_deployment(
+            spec.seed,
+            config=config,
+            n_cells=spec.n_cells,
+            cell_pitch_m=spec.cell_pitch_m,
+            phase_slots=spec.phase_slots,
+            pathloss_exponent=spec.pathloss_exponent,
+            bs_beamwidth_deg=spec.bs_beamwidth_deg,
+        )
+    else:
+        deployment = build_street_grid_deployment(
+            spec.seed,
+            config=config,
+            n_cells=spec.n_cells,
+            bs_beamwidth_deg=spec.bs_beamwidth_deg,
+        )
     if users is None:
         users = synthesize_users(spec)
     mobiles: List[Mobile] = []

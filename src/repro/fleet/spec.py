@@ -151,9 +151,17 @@ class FleetSpec:
     duration_s:
         Simulated run length.
     n_cells:
-        Base stations on the street grid (2..3).
+        Base stations on the street grid (2..3) or corridor (any >= 2).
     bs_beamwidth_deg:
         Station codebook beamwidth override (paper default when None).
+    topology:
+        ``"street"`` (the paper's 3-cell grid, default) or
+        ``"corridor"`` (:func:`~repro.experiments.scenarios.
+        build_corridor_deployment` — dense linear deployments).
+    cell_pitch_m / phase_slots / pathloss_exponent:
+        Corridor geometry knobs; ignored for the street topology (and,
+        like it, excluded from :attr:`fleet_hash` so every pre-corridor
+        spec keeps its hash).
     """
 
     name: str
@@ -163,12 +171,34 @@ class FleetSpec:
     duration_s: float = 6.0
     n_cells: int = 3
     bs_beamwidth_deg: Optional[float] = None
+    topology: str = "street"
+    cell_pitch_m: float = 50.0
+    phase_slots: int = 8
+    pathloss_exponent: float = 3.2
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("fleet name must be non-empty")
         if self.n_users < 1:
             raise SpecError(f"need >= 1 user, got {self.n_users!r}")
+        if self.topology not in ("street", "corridor"):
+            raise SpecError(
+                f"unknown topology {self.topology!r} "
+                f"(expected 'street' or 'corridor')"
+            )
+        if self.topology == "corridor":
+            if self.n_cells < 2:
+                raise SpecError(
+                    f"corridor needs >= 2 cells, got {self.n_cells!r}"
+                )
+            if self.cell_pitch_m <= 0.0:
+                raise SpecError(
+                    f"cell_pitch_m must be positive, got {self.cell_pitch_m!r}"
+                )
+            if self.phase_slots < 1:
+                raise SpecError(
+                    f"phase_slots must be >= 1, got {self.phase_slots!r}"
+                )
         object.__setattr__(self, "profiles", tuple(self.profiles))
         if not self.profiles:
             raise SpecError("need >= 1 user profile")
@@ -184,8 +214,14 @@ class FleetSpec:
 
     # ----------------------------------------------------------- identity
     def identity(self) -> dict:
-        """Everything the run depends on (display name excluded)."""
-        return {
+        """Everything the run depends on (display name excluded).
+
+        Topology fields appear only for non-street topologies: the
+        street default contributes nothing new, and omitting it keeps
+        every pre-corridor spec's content hash (and on-disk shard
+        artifacts) valid.
+        """
+        record = {
             "n_users": self.n_users,
             "profiles": [profile.to_dict() for profile in self.profiles],
             "seed": self.seed,
@@ -193,6 +229,12 @@ class FleetSpec:
             "n_cells": self.n_cells,
             "bs_beamwidth_deg": self.bs_beamwidth_deg,
         }
+        if self.topology != "street":
+            record["topology"] = self.topology
+            record["cell_pitch_m"] = self.cell_pitch_m
+            record["phase_slots"] = self.phase_slots
+            record["pathloss_exponent"] = self.pathloss_exponent
+        return record
 
     @property
     def fleet_hash(self) -> str:
@@ -222,6 +264,10 @@ class FleetSpec:
                     if record.get("bs_beamwidth_deg") is None
                     else float(record["bs_beamwidth_deg"])
                 ),
+                topology=str(record.get("topology", "street")),
+                cell_pitch_m=float(record.get("cell_pitch_m", 50.0)),
+                phase_slots=int(record.get("phase_slots", 8)),
+                pathloss_exponent=float(record.get("pathloss_exponent", 3.2)),
             )
         except KeyError as error:
             raise SpecError(f"fleet spec missing field: {error}") from error
@@ -287,6 +333,19 @@ def nearest_cell(start_x: float, n_cells: int) -> str:
     return min(cells, key=lambda c: abs(STATION_POSITIONS[c].x - start_x))
 
 
+def nearest_cell_for(spec: "FleetSpec", start_x: float) -> str:
+    """Topology-aware spawn attachment (see :func:`nearest_cell`).
+
+    Corridor cells sit at ``i * cell_pitch_m``, so the nearest is pure
+    arithmetic — no O(n_cells) scan for thousand-cell corridors.
+    """
+    if spec.topology == "corridor":
+        index = int(round(start_x / spec.cell_pitch_m))
+        index = min(max(index, 0), spec.n_cells - 1)
+        return f"cell{index:04d}"
+    return nearest_cell(start_x, spec.n_cells)
+
+
 def user_seed(fleet_hash: str, index: int) -> int:
     """User ``index``'s mobility seed — and its shard-assignment key."""
     return derive_seed(fleet_hash, f"user/{index}")
@@ -347,7 +406,7 @@ def synthesize_users(
                 protocol=profile.protocol,
                 start_x=start_x,
                 start_offset_s=offset,
-                serving_cell=nearest_cell(start_x, spec.n_cells),
+                serving_cell=nearest_cell_for(spec, start_x),
                 seed=user_seed(fleet_hash, index),
                 overrides=dict(profile.overrides),
             )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry.pose import Pose
 from repro.geometry.vectors import Vec3
@@ -20,6 +20,22 @@ class Trajectory(ABC):
     @abstractmethod
     def pose_at(self, time_s: float) -> Pose:
         """Pose at simulated time ``time_s`` (seconds, may be any >= 0)."""
+
+    def position_bound(
+        self, horizon_s: Optional[float] = None
+    ) -> Optional[Tuple[Vec3, float]]:
+        """A ``(center, radius_m)`` circle provably containing
+        ``position_at(t)`` for every ``t`` in ``[0, horizon_s]``.
+
+        The spatial cell index derives candidate base-station sets from
+        this bound, so implementations must be *conservative*: every
+        reachable position within the horizon lies inside the circle.
+        ``horizon_s=None`` asks for a bound valid for **all** ``t >= 0``;
+        models with unbounded motion return ``None`` in that case (and
+        the index simply keeps every station as a candidate for them).
+        The default is ``None`` — unknown motion is never pruned.
+        """
+        return None
 
     def position_at(self, time_s: float) -> Vec3:
         """Convenience accessor for just the position."""
@@ -69,6 +85,11 @@ class StaticPose(Trajectory):
     def pose_at(self, time_s: float) -> Pose:
         return self._pose
 
+    def position_bound(
+        self, horizon_s: Optional[float] = None
+    ) -> Optional[Tuple[Vec3, float]]:
+        return (self._pose.position, 0.0)
+
 
 class TimeShifted(Trajectory):
     """Wraps another trajectory with a time offset.
@@ -84,3 +105,14 @@ class TimeShifted(Trajectory):
 
     def pose_at(self, time_s: float) -> Pose:
         return self._inner.pose_at(max(0.0, time_s - self._offset_s))
+
+    def position_bound(
+        self, horizon_s: Optional[float] = None
+    ) -> Optional[Tuple[Vec3, float]]:
+        # The shifted clock ``max(0, t - offset)`` over ``[0, horizon]``
+        # covers a subset of the inner trajectory's ``[0, horizon]``
+        # window (for non-negative offsets), so the inner bound is
+        # conservative as-is.
+        if self._offset_s < 0.0:
+            return self._inner.position_bound(None)
+        return self._inner.position_bound(horizon_s)

@@ -83,5 +83,9 @@ class RandomWaypoint(Trajectory):
         """Time until the node parks at its final waypoint."""
         return self._path.total_time_s
 
+    def position_bound(self, horizon_s=None):
+        # The pre-drawn waypoint path is the entire reachable set.
+        return self._path.position_bound(horizon_s)
+
     def pose_at(self, time_s: float) -> Pose:
         return self._path.pose_at(time_s)

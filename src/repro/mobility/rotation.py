@@ -69,6 +69,11 @@ class DeviceRotation(Trajectory):
     def omega_rad_per_s(self) -> float:
         return self._omega
 
+    def position_bound(self, horizon_s=None):
+        # Sweep and tremor move the heading only; the device never
+        # translates, so the bound is exact for any horizon.
+        return (self._position, 0.0)
+
     def _sweep_offset(self, time_s: float) -> float:
         """Heading offset from the start heading at ``time_s``."""
         raw = self._omega * time_s

@@ -76,6 +76,16 @@ class VehicularDriveBy(Trajectory):
         """Construct from a speed in miles per hour (paper: 20 mph)."""
         return VehicularDriveBy(start, heading_rad, mph_to_mps(speed_mph), rng=rng)
 
+    def position_bound(self, horizon_s=None):
+        # Heading jitter never displaces the vehicle, so the bound is the
+        # straight travel segment over the horizon.
+        if horizon_s is None:
+            return None
+        end = self._start + self._velocity * horizon_s
+        center = (self._start + end) * 0.5
+        half = max(center.distance_to(self._start), center.distance_to(end))
+        return (center, half)
+
     def pose_at(self, time_s: float) -> Pose:
         position = self._start + self._velocity * time_s
         jitter = self._jitter_amplitude * (

@@ -83,6 +83,18 @@ class HumanWalk(Trajectory):
     def speed_mps(self) -> float:
         return self._speed
 
+    def position_bound(self, horizon_s=None):
+        # Unbounded straight-line motion: only a finite horizon yields a
+        # bound.  The position is the along-track point plus lateral
+        # sway of at most the sway amplitude, so the segment midpoint
+        # padded by (half segment + sway) covers every t in [0, horizon].
+        if horizon_s is None:
+            return None
+        end = self._start + self._velocity * horizon_s
+        center = (self._start + end) * 0.5
+        half = max(center.distance_to(self._start), center.distance_to(end))
+        return (center, half + abs(self._sway_amplitude))
+
     def pose_at(self, time_s: float) -> Pose:
         along = self._start + self._velocity * time_s
         sway = self._sway_amplitude * math.sin(

@@ -50,6 +50,19 @@ class WaypointPath(Trajectory):
     def speed_mps(self) -> float:
         return self._speed
 
+    def position_bound(self, horizon_s=None):
+        # The node is always on a segment between waypoints (clamped at
+        # both ends), and distance to a fixed point is convex along a
+        # segment, so the farthest reachable point from any center is a
+        # waypoint.  Valid for every horizon.
+        center = Vec3(
+            sum(w.x for w in self._waypoints) / len(self._waypoints),
+            sum(w.y for w in self._waypoints) / len(self._waypoints),
+            sum(w.z for w in self._waypoints) / len(self._waypoints),
+        )
+        radius = max(center.distance_to(w) for w in self._waypoints)
+        return (center, radius)
+
     def pose_at(self, time_s: float) -> Pose:
         clamped = min(max(time_s, 0.0), self._total_time)
         # Find the active segment: last start <= clamped.

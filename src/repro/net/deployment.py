@@ -2,48 +2,70 @@
 
 One :class:`Deployment` owns everything a run needs — simulator, RNG
 registry, channel, link engine, trace, metrics — and drives SSB burst
-delivery from each base station to each mobile via drift-free periodic
-tasks.  Experiment runners construct a fresh deployment per trial.
+delivery from each base station to each mobile.  Experiment runners
+construct a fresh deployment per trial.
 
-Burst delivery offers two paths with one determinism contract:
+Burst **scheduling** offers two modes with one determinism contract
+(``REPRO_BURST_SCHED``, default ``coalesced``):
+
+* ``legacy`` — one drift-free :class:`PeriodicTask` per station, the
+  original reference path; and
+* ``coalesced`` — stations whose SSB grids share the same absolute tick
+  ride one :class:`~repro.sim.engine.BurstScheduler` event, so a dense
+  K-cell corridor with G phase slots pays G heap events per period
+  instead of K, and the whole same-tick station group is delivered (and
+  measured) together.
+
+Burst **delivery** likewise offers two paths (``REPRO_FLEET_PATH``):
 
 * the **per-mobile loop** — each mobile handles the burst end to end
   (arbitration, dwell evaluation, listener callback) before the next
   mobile is visited; and
 * the **cross-user batched path** — arbitration runs for every mobile
   first (in the same registration order), the admitted population's
-  dwell grid is evaluated in one
-  :meth:`~repro.net.link_engine.LinkEngine.measure_burst_batch` call,
-  and the measurements are delivered to the listeners in that same
-  order.
+  dwell grid is evaluated in one link-engine call, and the measurements
+  are delivered to the listeners in that same order.  Under coalesced
+  scheduling the batch spans every station due on the tick
+  (:meth:`~repro.net.link_engine.LinkEngine.measure_burst_multi`),
+  arbitrated station-by-station in scheduling order.
 
-Per-link RNG streams are consumed identically on both paths (the grid
-draws per link, in user order, from each link's own streams), and the
-decode stream is only touched inside listener callbacks — which run in
-the same relative order on both paths — so a run is byte-identical
-whichever path delivers its bursts.  With
-:attr:`DeploymentConfig.per_link_decode` the decode draws too come from
-per-link streams, making every user's outcome independent of the rest
-of the population — the property the fleet shard runner relies on.  The batched path is
-the default for multi-mobile (fleet) deployments; ``REPRO_FLEET_PATH=
-scalar`` selects the per-mobile reference loop.
+Per-link RNG streams are consumed identically on every path (the grid
+draws per link, in station-then-user order, from each link's own
+streams), and the decode stream is only touched inside listener
+callbacks — which run in the same relative order on all paths — so a
+run is byte-identical whichever scheduler and path deliver its bursts.
+With :attr:`DeploymentConfig.per_link_decode` the decode draws too come
+from per-link streams, making every user's outcome independent of the
+rest of the population — the property the fleet shard runner relies on.
+
+Dense topologies additionally get a **spatial cell index**
+(:mod:`repro.net.cell_index`, ``REPRO_CELL_INDEX`` to force ``off``):
+at :meth:`start` each mobile's reachable positions are bounded from its
+trajectory, and stations provably outside the link-budget guard radius
+are excluded *for the whole run*.  Excluded pairs still run arbitration
+and deliver an empty measurement (listener cadence, radio occupancy and
+skip accounting unchanged) — only the channel evaluation is skipped,
+and since excluded links can never land a dwell above the noise floor,
+artifacts are byte-identical with the index on or off.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.measure.report import RssMeasurement
 from repro.mobility.base import sample_poses
 from repro.net.base_station import BaseStation
+from repro.net.cell_index import CellIndex, guard_radius_m
 from repro.net.link_engine import LinkEngine
 from repro.net.mobile import Mobile
 from repro.obs import telemetry as _telemetry
 from repro.obs.log import get_logger
 from repro.phy.channel import Channel, ChannelConfig
 from repro.phy.frame import FrameConfig, RachConfig
-from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.engine import BurstScheduler, PeriodicTask, Simulator
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
@@ -66,6 +88,21 @@ class DeploymentConfig:
     #: required by the fleet stack so shard runs are byte-identical to
     #: the unsharded population.
     per_link_decode: bool = False
+    #: Absolute simulation time the run will not exceed, when known.
+    #: Lets the spatial cell index bound horizon-dependent trajectories
+    #: (walks, vehicular passes); running past it with active exclusions
+    #: raises.  ``None`` restricts pruning to trajectories with a
+    #: horizon-free bound (static, rotation, waypoint paths).
+    horizon_s: Optional[float] = None
+
+
+def _env_choice(name: str, default: str, allowed: Tuple[str, ...]) -> str:
+    value = os.environ.get(name, default)
+    if value not in allowed:
+        raise ValueError(
+            f"{name} must be one of {allowed}, got {value!r}"
+        )
+    return value
 
 
 class Deployment:
@@ -86,12 +123,35 @@ class Deployment:
         self.telemetry = _telemetry.current()
         self._stations: Dict[str, BaseStation] = {}
         self._mobiles: Dict[str, Mobile] = {}
-        self._burst_tasks: List[PeriodicTask] = []
+        #: Live burst-schedule handles keyed by cell id.  Values are
+        #: PeriodicTask (legacy) or BurstMember (coalesced); both expose
+        #: ``next_fire_s`` and ``stop()``, which is all stop() needs.
+        self._burst_tasks: Dict[str, object] = {}
+        self._burst_scheduler: Optional[BurstScheduler] = None
         self._resume_at: Dict[str, float] = {}
         self._started = False
         #: Cross-user burst delivery path; the per-mobile loop is kept
         #: as the reference for equivalence tests and perf comparison.
         self.fleet_batch = os.environ.get("REPRO_FLEET_PATH", "batch") != "scalar"
+        #: Burst scheduling mode; ``legacy`` keeps the original
+        #: one-PeriodicTask-per-station reference path.
+        self.burst_sched = _env_choice(
+            "REPRO_BURST_SCHED", "coalesced", ("coalesced", "legacy")
+        )
+        #: Spatial pruning switch; the index is also self-disabling
+        #: whenever safety cannot be proven (see _build_cell_index).
+        self.cell_index_enabled = (
+            _env_choice("REPRO_CELL_INDEX", "on", ("on", "off")) == "on"
+        )
+        #: mobile_id -> candidate cell ids (stations it can ever hear).
+        #: ``None`` means pruning is off; a missing key means that
+        #: mobile could not be bounded and is never pruned.
+        self._candidates: Optional[Dict[str, FrozenSet[str]]] = None
+        self._index_horizon_s: Optional[float] = None
+        #: mobile_id -> (codebook at index build, its peak gain): an
+        #: exclusion consulted after a codebook swap re-validates the
+        #: receive-gain bound the guard radius was derived from.
+        self._codebook_guard: Dict[str, Tuple[object, float]] = {}
 
     # -------------------------------------------------------------- topology
     def add_station(self, station: BaseStation) -> BaseStation:
@@ -132,12 +192,99 @@ class Deployment:
     def mobiles(self) -> List[Mobile]:
         return list(self._mobiles.values())
 
+    # ---------------------------------------------------------- cell index
+    def _build_cell_index(self) -> None:
+        """Derive per-mobile candidate cell sets, when provably safe.
+
+        Self-disabling: any condition that would make pruning unsound
+        (no link-budget inverse, unbounded trajectories, single cell)
+        simply leaves :attr:`_candidates` as ``None`` / unpruned, so
+        existing short-range deployments are untouched by construction.
+        """
+        self._candidates = None
+        self._index_horizon_s = None
+        self._codebook_guard = {}
+        if not self.cell_index_enabled:
+            return
+        if len(self._stations) < 2 or not self._mobiles:
+            return
+        radius = guard_radius_m(
+            self.channel, self._stations.values(), self._mobiles.values()
+        )
+        if radius is None:
+            return
+        index = CellIndex(self._stations.values(), bucket_m=max(radius, 1.0))
+        horizon = self.config.horizon_s
+        candidates: Dict[str, FrozenSet[str]] = {}
+        all_cells = frozenset(self._stations)
+        horizon_needed = False
+        pruned_links = 0
+        for mobile in self._mobiles.values():
+            bound = mobile.trajectory.position_bound(None)
+            if bound is None and horizon is not None:
+                bound = mobile.trajectory.position_bound(horizon)
+                if bound is not None:
+                    horizon_needed = True
+            if bound is None:
+                continue  # unbounded: this mobile is never pruned
+            center, reach = bound
+            cells = index.within(center, reach + radius)
+            if cells == all_cells:
+                continue  # nothing pruned; skip the per-burst lookup
+            candidates[mobile.mobile_id] = cells
+            pruned_links += len(all_cells) - len(cells)
+            self._codebook_guard[mobile.mobile_id] = (
+                mobile.codebook, mobile.codebook.max_gain_dbi
+            )
+        if not candidates:
+            return
+        self._candidates = candidates
+        if horizon_needed:
+            self._index_horizon_s = horizon
+        self.telemetry.incr("net.cell_index.pruned_links", pruned_links)
+        _log.debug(
+            "cell index: guard radius %.1fm, %d/%d mobiles bounded, "
+            "%d links pruned",
+            radius, len(candidates), len(self._mobiles), pruned_links,
+        )
+
+    def _excluded(self, station: BaseStation, mobile: Mobile, now_s: float) -> bool:
+        """Whether the (station, mobile) channel evaluation is pruned."""
+        candidates = self._candidates
+        if candidates is None:
+            return False
+        cells = candidates.get(mobile.mobile_id)
+        if cells is None or station.cell_id in cells:
+            return False
+        # An exclusion is live — re-validate the assumptions it rests on.
+        if self._index_horizon_s is not None and now_s > self._index_horizon_s:
+            raise RuntimeError(
+                f"simulation time {now_s:.3f}s exceeds the cell-index "
+                f"horizon {self._index_horizon_s:.3f}s with active spatial "
+                f"exclusions; raise DeploymentConfig.horizon_s or set "
+                f"REPRO_CELL_INDEX=off"
+            )
+        guard = self._codebook_guard.get(mobile.mobile_id)
+        if guard is not None:
+            codebook_ref, gain_bound = guard
+            if (
+                mobile.codebook is not codebook_ref
+                and mobile.codebook.max_gain_dbi > gain_bound
+            ):
+                raise RuntimeError(
+                    f"mobile {mobile.mobile_id!r} swapped to a codebook "
+                    f"with peak gain {mobile.codebook.max_gain_dbi:.1f} dBi "
+                    f"> the {gain_bound:.1f} dBi bound the spatial index "
+                    f"was built with; set REPRO_CELL_INDEX=off"
+                )
+        return True
+
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
         """Begin SSB burst delivery for every station.
 
-        Each station gets a drift-free periodic task at the SSB period,
-        phase-offset per its schedule; every burst is offered to every
+        Each station joins the burst schedule at the SSB period,
+        phase-offset per its own grid; every burst is offered to every
         mobile (the mobile's RF-chain arbitration decides what actually
         gets measured).  After a :meth:`stop`, calling :meth:`start`
         (or :meth:`run`) re-arms the tasks on the stations' *absolute*
@@ -147,10 +294,15 @@ class Deployment:
             raise RuntimeError("deployment already started")
         self._started = True
         _log.debug(
-            "start: %d stations, %d mobiles, t=%.3fs",
+            "start: %d stations, %d mobiles, t=%.3fs, sched=%s",
             len(self._stations), len(self._mobiles), self.sim.now,
+            self.burst_sched,
         )
+        self._build_cell_index()
         now = self.sim.now
+        coalesced = self.burst_sched == "coalesced"
+        if coalesced:
+            self._burst_scheduler = BurstScheduler(self.sim, self._deliver_tick)
         for station in self._stations.values():
             # First burst: the next grid point at or after now — but
             # never one that already fired before a stop().  When a
@@ -161,16 +313,23 @@ class Deployment:
             resume = self._resume_at.get(station.cell_id)
             if resume is not None:
                 first = max(first, station.schedule.next_burst_start(resume))
-            self._burst_tasks.append(
-                PeriodicTask(
+            if coalesced:
+                self._burst_tasks[station.cell_id] = self._burst_scheduler.add(
+                    station.frame.ssb_period_s,
+                    station,
+                    start_delay=first - now,
+                    label=f"ssb.{station.cell_id}",
+                )
+            else:
+                self._burst_tasks[station.cell_id] = PeriodicTask(
                     self.sim,
                     station.frame.ssb_period_s,
                     self._make_burst_handler(station),
                     start_delay=first - now,
                     label=f"ssb.{station.cell_id}",
                 )
-            )
 
+    # --------------------------------------------------- legacy scheduling
     def _make_burst_handler(self, station: BaseStation):
         def handle_burst() -> None:
             self.metrics.incr(f"bursts.{station.cell_id}")
@@ -179,39 +338,191 @@ class Deployment:
             else:
                 with self.telemetry.span("net.burst_scalar"):
                     for mobile in self._mobiles.values():
-                        mobile.deliver_burst(station, self.links, self.sim.now)
+                        self._deliver_burst_scalar(station, mobile)
 
         return handle_burst
 
     def _deliver_burst_batch(self, station: BaseStation) -> None:
-        """Cross-user batched burst delivery (see module docstring).
+        """Cross-user batched burst delivery for one station's burst.
 
         Three phases, each visiting mobiles in registration order —
         exactly the order the per-mobile loop uses: arbitration
         (listener beam choices, radio occupancy), one grid evaluation
-        for the admitted population, then listener delivery.
+        for the admitted non-pruned population, then listener delivery.
         """
         with self.telemetry.span("net.burst_batch"):
             now = self.sim.now
-            admitted: List[Mobile] = []
-            rx_beams: List[int] = []
-            for mobile in self._mobiles.values():
-                rx_beam = mobile.begin_burst(station, now)
-                if rx_beam is None:
-                    continue
-                admitted.append(mobile)
-                rx_beams.append(rx_beam)
+            admitted, requests = self._arbitrate_station(station, now)
             self.telemetry.observe("net.burst_batch_size", len(admitted))
             if not admitted:
                 return
-            poses = sample_poses([mobile.trajectory for mobile in admitted], now)
-            requests = [
-                (mobile.mobile_id, pose, mobile.rx_gain_fn(now, pose), rx_beam)
-                for mobile, pose, rx_beam in zip(admitted, poses, rx_beams)
-            ]
             measurements = self.links.measure_burst_batch(station, requests, now)
-            for mobile, measurement in zip(admitted, measurements):
-                mobile.complete_burst(measurement)
+            self._deliver_measurements(station, admitted, measurements, now)
+
+    # ------------------------------------------------ coalesced scheduling
+    def _deliver_tick(self, stations: List[BaseStation]) -> None:
+        """Deliver one coalesced tick: every station due right now.
+
+        Stations arrive in scheduler registration order, which under
+        legacy scheduling is exactly the order their same-time events
+        would fire; per-station processing is identical to the legacy
+        handlers, so the two modes consume RNG streams identically.
+        """
+        if self.fleet_batch and len(self._mobiles) > 1 and self.links.vectorized:
+            self._deliver_tick_batch(stations)
+        else:
+            with self.telemetry.span("net.burst_scalar"):
+                for station in stations:
+                    self.metrics.incr(f"bursts.{station.cell_id}")
+                    for mobile in self._mobiles.values():
+                        self._deliver_burst_scalar(station, mobile)
+
+    def _deliver_tick_batch(self, stations: List[BaseStation]) -> None:
+        """Multi-station batched delivery for one coalesced tick.
+
+        Arbitration runs station-by-station in tick order, then the
+        whole tick's (station, user) link rows are evaluated in a
+        single ``measure_burst_multi`` call, then listeners are
+        notified in station-then-user order.
+
+        The single-RF-chain check is hoisted out of the station loop:
+        every station on the tick shares the same ``now``, and a
+        mobile's busy window only ever *grows* (when it admits a
+        burst), so a mobile busy at tick start skips the whole group —
+        one counter bump instead of ``len(stations)`` arbitration
+        calls — and a mobile that admits a station is busy for the
+        group's remainder.  Listener ``choose_rx_beam`` calls happen
+        for exactly the (station, mobile) pairs, in exactly the order,
+        the per-station legacy events produce, and the skip counters
+        commute, so runs are byte-identical to legacy scheduling.
+        """
+        with self.telemetry.span("net.burst_batch"):
+            now = self.sim.now
+            n_stations = len(stations)
+            active: List[Mobile] = []
+            for mobile in self._mobiles.values():
+                if mobile._listener is None:
+                    continue
+                if mobile.radio_busy(now):
+                    mobile.bursts_skipped_busy += n_stations
+                else:
+                    active.append(mobile)
+            plan = []  # (station, admitted, group index or None)
+            groups = []  # only stations with measured rows
+            for index, station in enumerate(stations):
+                self.metrics.incr(f"bursts.{station.cell_id}")
+                admitted = []
+                measured = []
+                if active:
+                    cell_id = station.cell_id
+                    burst_s = station.schedule.burst_duration_s()
+                    remaining = n_stations - index - 1
+                    still_active: List[Mobile] = []
+                    for mobile in active:
+                        rx_beam = mobile._listener.choose_rx_beam(cell_id, now)
+                        if rx_beam is None:
+                            mobile.bursts_declined += 1
+                            still_active.append(mobile)
+                            continue
+                        mobile.occupy_radio(now, burst_s)
+                        if burst_s > 0.0:
+                            # Busy for the rest of the group: account the
+                            # per-station skips the legacy events would.
+                            mobile.bursts_skipped_busy += remaining
+                        else:  # zero-length burst never occupies the chain
+                            still_active.append(mobile)
+                        if self._excluded(station, mobile, now):
+                            admitted.append((mobile, rx_beam, None))
+                        else:
+                            admitted.append((mobile, rx_beam, len(measured)))
+                            measured.append((mobile, rx_beam))
+                    active = still_active
+                self.telemetry.observe("net.burst_batch_size", len(admitted))
+                if not admitted:
+                    continue
+                if measured:
+                    plan.append((station, admitted, len(groups)))
+                    groups.append(
+                        (station, self._measure_requests(measured, now))
+                    )
+                else:  # every admitted link spatially pruned
+                    plan.append((station, admitted, None))
+            results = (
+                self.links.measure_burst_multi(groups, now) if groups else []
+            )
+            for station, admitted, group in plan:
+                measurements = results[group] if group is not None else ()
+                self._deliver_measurements(station, admitted, measurements, now)
+
+    # ------------------------------------------------------ shared delivery
+    def _arbitrate_station(self, station: BaseStation, now: float):
+        """Arbitration pass for one station's burst.
+
+        Returns ``(admitted, requests)``: every admitted
+        ``(mobile, rx_beam, measure_index)`` in registration order —
+        ``measure_index`` is ``None`` for spatially pruned links — and
+        the link-engine request rows for the measured subset.
+        """
+        admitted = []
+        measured = []
+        for mobile in self._mobiles.values():
+            rx_beam = mobile.begin_burst(station, now)
+            if rx_beam is None:
+                continue
+            if self._excluded(station, mobile, now):
+                admitted.append((mobile, rx_beam, None))
+            else:
+                admitted.append((mobile, rx_beam, len(measured)))
+                measured.append((mobile, rx_beam))
+        return admitted, self._measure_requests(measured, now)
+
+    @staticmethod
+    def _measure_requests(measured, now: float):
+        """Link-engine request rows for the measured (mobile, beam) pairs."""
+        if not measured:
+            return []
+        poses = sample_poses([mobile.trajectory for mobile, _ in measured], now)
+        return [
+            (mobile.mobile_id, pose, mobile.rx_gain_fn(now, pose), rx_beam)
+            for (mobile, rx_beam), pose in zip(measured, poses)
+        ]
+
+    def _deliver_measurements(
+        self, station: BaseStation, admitted, measurements, now: float
+    ) -> None:
+        """Listener delivery in arbitration order, synthesizing the
+        (provably empty) measurement for spatially pruned links."""
+        for mobile, rx_beam, index in admitted:
+            if index is None:
+                mobile.complete_burst(
+                    RssMeasurement(now, station.cell_id, rx_beam)
+                )
+            else:
+                mobile.complete_burst(measurements[index])
+
+    def _deliver_burst_scalar(self, station: BaseStation, mobile: Mobile) -> None:
+        """Per-mobile reference delivery (one station, one mobile).
+
+        Same flow as :meth:`Mobile.deliver_burst` plus the spatial
+        pruning branch, which skips only the channel evaluation.
+        """
+        now = self.sim.now
+        rx_beam = mobile.begin_burst(station, now)
+        if rx_beam is None:
+            return
+        if self._excluded(station, mobile, now):
+            mobile.complete_burst(RssMeasurement(now, station.cell_id, rx_beam))
+            return
+        pose = mobile.pose_at(now)
+        measurement = self.links.measure_burst(
+            station,
+            mobile.mobile_id,
+            pose,
+            mobile.rx_gain_fn(now, pose),
+            rx_beam,
+            now,
+        )
+        mobile.complete_burst(measurement)
 
     def run(self, duration_s: float) -> None:
         """Start (if needed) and advance simulated time by ``duration_s``.
@@ -231,12 +542,14 @@ class Deployment:
         Clears the started flag so a subsequent :meth:`run` re-arms
         burst delivery rather than running a burst-less clock, and
         records each station's next unfired burst so the restart never
-        delivers a boundary burst twice.
+        delivers a boundary burst twice.  Tasks are keyed by cell id,
+        so resume times survive any registration/teardown ordering.
         """
-        for station, task in zip(self._stations.values(), self._burst_tasks):
-            self._resume_at[station.cell_id] = task.next_fire_s
+        for cell_id, task in self._burst_tasks.items():
+            self._resume_at[cell_id] = task.next_fire_s
             task.stop()
         self._burst_tasks.clear()
+        self._burst_scheduler = None
         self._started = False
         _log.debug("stop: t=%.3fs, %d events fired",
                    self.sim.now, self.sim.events_fired)

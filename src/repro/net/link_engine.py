@@ -296,6 +296,146 @@ class LinkEngine:
             )
         return measurements
 
+    def measure_burst_multi(
+        self,
+        groups,
+        time_s: float,
+        detection_snr_db: Optional[float] = None,
+    ):
+        """Evaluate several stations' same-tick bursts in one pass.
+
+        ``groups`` is a sequence of ``(station, requests)`` pairs in
+        delivery order, each ``requests`` shaped exactly like
+        :meth:`measure_burst_batch`'s.  The whole tick becomes one
+        ``(rows, max_dwells)`` grid — one row per (station, user) link,
+        station-major / user-minor, short bursts padded with ``-inf``
+        transmit gain — evaluated by a single
+        :meth:`Channel.burst_rss_rows_dbm` call.  Because the row order
+        equals the order of the per-station grid calls it replaces,
+        every per-link RNG stream is left in the identical state and the
+        measurements are bit-identical to calling
+        :meth:`measure_burst_batch` once per group, in order.
+
+        Returns one list of :class:`RssMeasurement` per group, each in
+        its requests' order.
+        """
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return self._measure_burst_multi_impl(groups, time_s, detection_snr_db)
+        started = perf_counter()
+        try:
+            return self._measure_burst_multi_impl(groups, time_s, detection_snr_db)
+        finally:
+            telemetry.record_span(
+                "phy.measure_burst_multi", started, perf_counter()
+            )
+            telemetry.incr(
+                "phy.bursts_measured", sum(len(r) for _, r in groups)
+            )
+
+    def _measure_burst_multi_impl(
+        self,
+        groups,
+        time_s: float,
+        detection_snr_db: Optional[float] = None,
+    ):
+        metas = []
+        row_link_ids = []
+        row_tx_poses = []
+        row_rx_poses = []
+        row_rx_gains = []
+        row_tx_powers = []
+        row_dwells = []
+        group_gains = []
+        max_dwells = 0
+        for station, requests in groups:
+            if not requests:
+                # Dense-tick common case: most stations on a coalesced
+                # tick have no admitted measurements, so skip the beam /
+                # budget lookups entirely.
+                group_gains.append(None)
+                metas.append((station, requests, None, None, None))
+                continue
+            beams = station.schedule.beams_in_burst()
+            budget = station.link_budget
+            threshold = (
+                budget.detection_snr_db
+                if detection_snr_db is None
+                else detection_snr_db
+            )
+            # Per-user scalar geometry, identical ops and order to
+            # _measure_burst_batch_impl.
+            bearings_to_mobile = []
+            for mobile_id, mobile_pose, rx_gain_fn, rx_beam in requests:
+                bearings_to_mobile.append(
+                    station.pose.bearing_to(mobile_pose.position)
+                )
+                row_rx_gains.append(
+                    rx_gain_fn(rx_beam, mobile_pose.bearing_to(station.pose.position))
+                )
+                row_link_ids.append(self.link_id(station.cell_id, mobile_id))
+                row_tx_poses.append(station.pose)
+                row_rx_poses.append(mobile_pose)
+                row_tx_powers.append(station.tx_power_dbm)
+                row_dwells.append(len(beams))
+            group_gains.append(station.tx_gains_grid_dbi(bearings_to_mobile, beams))
+            metas.append((station, requests, beams, budget, threshold))
+            max_dwells = max(max_dwells, len(beams))
+        n_rows = len(row_link_ids)
+        if n_rows == 0:
+            return [[] for _ in groups]
+        tx_gains = np.full((n_rows, max_dwells), -np.inf, dtype=float)
+        row = 0
+        for gains in group_gains:
+            if gains is None:
+                continue
+            n_users, n_beams = gains.shape
+            tx_gains[row:row + n_users, :n_beams] = gains
+            row += n_users
+        rss = self.channel.burst_rss_rows_dbm(
+            row_link_ids,
+            time_s,
+            row_tx_poses,
+            row_rx_poses,
+            tx_gains,
+            np.asarray(row_rx_gains, dtype=float),
+            np.asarray(row_tx_powers, dtype=float),
+            row_dwells,
+        )
+        results = []
+        row = 0
+        for station, requests, beams, budget, threshold in metas:
+            if not requests:
+                results.append([])
+                continue
+            sub = rss[row:row + len(requests), :len(beams)]
+            row += len(requests)
+            detected = sub - budget.noise_floor_dbm >= threshold
+            any_detected = detected.any(axis=1)
+            best = np.argmax(np.where(detected, sub, -np.inf), axis=1)
+            measurements = []
+            for u, (mobile_id, mobile_pose, rx_gain_fn, rx_beam) in enumerate(
+                requests
+            ):
+                if not any_detected[u]:
+                    measurements.append(
+                        RssMeasurement(time_s, station.cell_id, rx_beam)
+                    )
+                    continue
+                best_rss = float(sub[u, best[u]])
+                measurements.append(
+                    RssMeasurement(
+                        time_s,
+                        station.cell_id,
+                        rx_beam,
+                        tx_beam=beams[int(best[u])],
+                        rss_dbm=best_rss,
+                        snr_db=budget.snr_db(best_rss),
+                    )
+                )
+            results.append(measurements)
+        return results
+
     def _measure_burst_scalar(
         self,
         station: BaseStation,

@@ -124,6 +124,13 @@ class Mobile:
         the receive beam index when the burst will be measured, ``None``
         when it is skipped (busy or declined) — in which case all
         skip accounting has already happened.
+
+        The check sequence here (no listener -> silent skip, busy ->
+        count, decline -> count, else occupy) is the arbitration
+        contract; ``Deployment._deliver_tick_batch`` inlines it across
+        a coalesced station group (hoisting the busy check, which is
+        constant over the group's shared timestamp) and must stay
+        byte-equivalent to calling this method once per station.
         """
         if self._listener is None:
             return None

@@ -31,6 +31,7 @@ from repro.obs.report import (
     ObsError,
     counter_rows,
     diff_rows,
+    filter_summary,
     load_telemetry,
     merge_summaries,
     sidecar_path,
@@ -57,6 +58,7 @@ __all__ = [
     "counter_rows",
     "current",
     "diff_rows",
+    "filter_summary",
     "get_logger",
     "load_telemetry",
     "merge_summaries",

@@ -142,6 +142,30 @@ def top_rows(
     return ["span", "count", "total (ms)", "mean (us)", "share %"], rows
 
 
+def filter_summary(
+    summary: dict, span_prefix: str, counter_prefix: str
+) -> dict:
+    """A copy of ``summary`` keeping only matching spans and counters.
+
+    Backs ``repro obs top --events``: with the engine's per-label
+    instrumentation (``sim.event.*`` spans, ``sim.events.*`` counters)
+    this isolates where simulated-event time actually goes.  Share
+    percentages downstream are then relative to the filtered set.
+    """
+    filtered = dict(summary)
+    filtered["spans"] = {
+        name: record
+        for name, record in summary.get("spans", {}).items()
+        if name.startswith(span_prefix)
+    }
+    filtered["counters"] = {
+        name: value
+        for name, value in summary.get("counters", {}).items()
+        if name.startswith(counter_prefix)
+    }
+    return filtered
+
+
 def counter_rows(
     summary: dict, limit: Optional[int] = None
 ) -> Tuple[List[str], List[list]]:

@@ -302,6 +302,83 @@ class Channel:
             + fading_db
         )
 
+    def burst_rss_rows_dbm(
+        self,
+        link_ids,
+        time_s: float,
+        tx_poses,
+        rx_poses,
+        tx_gains_dbi: np.ndarray,
+        rx_gains_dbi,
+        tx_powers_dbm,
+        n_dwells,
+        include_fading: bool = True,
+    ) -> np.ndarray:
+        """Vectorized RSS over heterogeneous (station, user) link rows.
+
+        The multi-station extension of :meth:`burst_rss_grid_dbm`: each
+        row is one link of one station's burst — its own transmit pose,
+        power, and dwell count — and ``tx_gains_dbi`` is a ``(rows,
+        max_dwells)`` grid whose columns beyond a row's ``n_dwells`` are
+        padded with ``-inf`` (a padded slot can never detect).  Per-link
+        RNG draws happen row by row *in row order*, each sized by that
+        row's true dwell count, so as long as the caller orders rows
+        exactly as the per-station grid calls it replaces (station-major,
+        user-minor), every stream is left in the identical state and the
+        real (unpadded) entries are bit-identical to the per-station
+        :meth:`burst_rss_grid_dbm` rows.
+        """
+        tx_gains = np.asarray(tx_gains_dbi, dtype=float)
+        if tx_gains.ndim != 2:
+            raise ValueError(
+                f"tx gains must be a (rows, dwells) grid, got shape {tx_gains.shape}"
+            )
+        n_rows, max_dwells = tx_gains.shape
+        if not (
+            len(link_ids) == len(tx_poses) == len(rx_poses) == len(n_dwells) == n_rows
+        ):
+            raise ValueError(
+                f"row inputs disagree: {len(link_ids)} links, "
+                f"{len(tx_poses)} tx poses, {len(rx_poses)} rx poses, "
+                f"{len(n_dwells)} dwell counts for {n_rows} rows"
+            )
+        if n_rows == 0 or max_dwells == 0:
+            return np.empty((n_rows, max_dwells), dtype=float)
+        rx_gains = np.asarray(rx_gains_dbi, dtype=float)
+        tx_powers = np.asarray(tx_powers_dbm, dtype=float)
+        loss_db = np.empty(n_rows, dtype=float)
+        shadowing_db = np.empty(n_rows, dtype=float)
+        blockage_db = np.empty(n_rows, dtype=float)
+        fading_db = np.zeros((n_rows, max_dwells), dtype=float)
+        for r, link_id in enumerate(link_ids):
+            n_g = int(n_dwells[r])
+            if n_g <= 0 or n_g > max_dwells:
+                raise ValueError(
+                    f"row {r}: dwell count {n_g} outside [1, {max_dwells}]"
+                )
+            state = self.link_state(link_id)
+            distance = tx_poses[r].position.distance_to(rx_poses[r].position)
+            loss_db[r] = self.pathloss.path_loss_db(distance)
+            shadowing_db[r] = state.shadowing.sample_repeat_db(
+                state.traveled_m(rx_poses[r]), n_g
+            )
+            blockage_db[r] = state.blockage.attenuation_db(time_s)
+            if include_fading:
+                fading_db[r, :n_g] = state.fading.sample_db_array(n_g)
+        # Same left-to-right operation order as burst_rss_grid_dbm; the
+        # per-row transmit power broadcasts down columns like the other
+        # per-row terms, so adding identical floats yields bit-identical
+        # elements.  -inf gain pads stay -inf through the sum.
+        return (
+            tx_powers[:, None]
+            + tx_gains
+            + rx_gains[:, None]
+            - loss_db[:, None]
+            - shadowing_db[:, None]
+            - blockage_db[:, None]
+            + fading_db
+        )
+
     def mean_rss_dbm(
         self,
         tx_pose: Pose,

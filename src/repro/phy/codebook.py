@@ -127,6 +127,19 @@ class Codebook:
         """True for the degenerate single-omni-beam codebook."""
         return len(self._beams) == 1 and self._beams[0].beamwidth_rad >= 2.0 * math.pi - 1e-9
 
+    @property
+    def max_gain_dbi(self) -> float:
+        """Largest gain any beam can produce in any direction.
+
+        The antenna-side term of the spatial cell index's guard-radius
+        budget: no (beam, azimuth) evaluation of this codebook exceeds
+        it.  Beams and patterns are immutable, so the peak over the
+        distinct patterns is computed once.
+        """
+        return max(
+            pattern.peak_gain_dbi for pattern, _ in self._pattern_groups
+        )
+
     # ------------------------------------------------------------- topology
     def neighbors(self, index: int) -> Tuple[int, int]:
         """Indices of the two directionally adjacent beams (CW, CCW).

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Optional
 
 #: Speed of light, m/s.
 SPEED_OF_LIGHT = 299_792_458.0
@@ -41,6 +42,19 @@ class PathLossModel(ABC):
     def path_loss_db(self, distance_m: float) -> float:
         """Mean path loss in dB at ``distance_m`` meters."""
 
+    def max_distance_for_loss(self, loss_db: float) -> Optional[float]:
+        """Largest distance whose mean loss is **at most** ``loss_db``.
+
+        The inverse used by the spatial cell index to turn a link-budget
+        margin into a guard radius: every station farther than this
+        provably attenuates below the budget.  Must be conservative —
+        ``path_loss_db(d) >= loss_db`` for every ``d`` beyond the
+        returned distance.  The default returns ``None`` (inverse
+        unknown), which disables spatial pruning for deployments using
+        the model; monotone models should override.
+        """
+        return None
+
 
 class FreeSpacePathLoss(PathLossModel):
     """Pure Friis free-space loss at a fixed carrier frequency."""
@@ -52,6 +66,11 @@ class FreeSpacePathLoss(PathLossModel):
 
     def path_loss_db(self, distance_m: float) -> float:
         return fspl_db(distance_m, self.frequency_hz)
+
+    def max_distance_for_loss(self, loss_db: float) -> Optional[float]:
+        # Friis is CI with exponent 2 and a 1 m intercept.
+        intercept = fspl_db(1.0, self.frequency_hz)
+        return 10.0 ** ((loss_db - intercept) / 20.0)
 
 
 class CloseInPathLoss(PathLossModel):
@@ -94,6 +113,14 @@ class CloseInPathLoss(PathLossModel):
         distance = max(distance_m, self.min_distance_m)
         return self._intercept_db + 10.0 * self.exponent * math.log10(distance)
 
+    def max_distance_for_loss(self, loss_db: float) -> Optional[float]:
+        # Loss is monotone non-decreasing in distance (flat inside the
+        # clamp), so the exact inverse of the log-distance line is a
+        # valid conservative bound; below-intercept budgets collapse to
+        # the clamp distance.
+        distance = 10.0 ** ((loss_db - self._intercept_db) / (10.0 * self.exponent))
+        return max(distance, self.min_distance_m)
+
 
 class DualSlopePathLoss(PathLossModel):
     """Two-exponent model with a breakpoint distance.
@@ -122,4 +149,12 @@ class DualSlopePathLoss(PathLossModel):
             return self._near.path_loss_db(distance_m)
         return self._loss_at_break + 10.0 * self.far_exponent * math.log10(
             distance_m / self.breakpoint_m
+        )
+
+    def max_distance_for_loss(self, loss_db: float) -> Optional[float]:
+        if loss_db <= self._loss_at_break:
+            near = self._near.max_distance_for_loss(loss_db)
+            return min(near, self.breakpoint_m) if near is not None else None
+        return self.breakpoint_m * 10.0 ** (
+            (loss_db - self._loss_at_break) / (10.0 * self.far_exponent)
         )

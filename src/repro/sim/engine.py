@@ -117,6 +117,45 @@ class EventQueue:
                 return event
         return None
 
+    def pop_batch(self) -> List[Event]:
+        """Remove and return every non-cancelled event at the head timestamp.
+
+        Events come back in ``(time, seq)`` order — exactly the order
+        :meth:`pop` would have produced them one at a time — so a
+        coalesced dispatch loop pays one heap scan per *timestamp*
+        instead of one per event.  Returns ``[]`` when the queue is
+        empty.
+        """
+        first = self.pop()
+        if first is None:
+            return []
+        batch = [first]
+        heap = self._heap
+        while heap and heap[0].time == first.time:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            event._queue = None
+            batch.append(event)
+        return batch
+
+    def requeue(self, events: List[Event]) -> None:
+        """Return popped-but-unfired events to the heap.
+
+        Used by the batched run loop when a stop request or
+        ``max_events`` exhaustion lands mid-batch: the remaining events
+        must look exactly as if they had never been popped.  Events
+        cancelled after the pop are dropped (their live count was
+        already settled when they left the heap).
+        """
+        for event in events:
+            if event.cancelled:
+                continue
+            event._queue = self
+            heapq.heappush(self._heap, event)
+            self._live += 1
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest pending event, or ``None`` when empty."""
         while self._heap and self._heap[0].cancelled:
@@ -145,9 +184,11 @@ class Simulator:
         self._running = False
         self._events_fired = 0
         self._stop_requested = False
-        # Ambient telemetry captured once: the engine dispatch loop is
-        # the hottest pure-Python path, so the disabled case must cost
-        # one attribute check per event, not a registry lookup.
+        # Ambient telemetry, re-resolved at every `_run_loop` entry so a
+        # hub installed via `obs.telemetry.use()` after construction
+        # still sees engine spans; cached on the instance between entries
+        # because the dispatch loop is the hottest pure-Python path and
+        # the disabled case must cost one attribute check per event.
         self._telemetry = _telemetry.current()
 
     @property
@@ -220,13 +261,25 @@ class Simulator:
         simulated time would pass ``end_time`` (when given), or
         :meth:`stop` is called from a callback.  ``max_events`` bounds
         the number of callbacks fired in this invocation.
+
+        Dispatch is batched: all events sharing the head timestamp are
+        popped together (:meth:`EventQueue.pop_batch`), so a dense
+        deployment whose stations coalesce on a few tick grids pays one
+        heap scan per tick instead of one per event.  Observable
+        semantics are unchanged — events still fire one at a time in
+        ``(time, seq)`` order, a stop/exhaustion mid-batch requeues the
+        unfired remainder, and an event cancelled by an earlier event in
+        its own batch does not fire.
         """
         if self._running:
             raise SimulationError("run loop is not reentrant")
         self._running = True
         self._stop_requested = False
         fired_this_run = 0
-        telemetry = self._telemetry
+        # Satellite fix: re-resolve the ambient hub here, not only at
+        # __init__ — a hub installed after the simulator was constructed
+        # must see engine spans.
+        telemetry = self._telemetry = _telemetry.current()
         try:
             while not self._stop_requested:
                 next_time = self._queue.peek_time()
@@ -234,32 +287,44 @@ class Simulator:
                     break
                 if end_time is not None and next_time > end_time:
                     break
-                event = self._queue.pop()
-                if event is None:
+                batch = self._queue.pop_batch()
+                if not batch:
                     break
-                self._now = event.time
-                if telemetry.enabled:
-                    # Span names bucket by the label's first dotted
-                    # component ("ssb", "rach", ...) to bound
-                    # cardinality; counters keep the full label.
-                    label = event.label or "unlabeled"
-                    started = perf_counter()
-                    event.callback(*event.args)
-                    telemetry.record_span(
-                        "sim.event." + label.partition(".")[0],
-                        started,
-                        perf_counter(),
-                    )
-                    telemetry.incr("sim.events." + label)
-                else:
-                    event.callback(*event.args)
-                self._events_fired += 1
-                fired_this_run += 1
-                if max_events is not None and fired_this_run >= max_events:
-                    horizon = f" before {end_time}s" if end_time is not None else ""
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}{horizon}"
-                    )
+                self._now = next_time
+                for index, event in enumerate(batch):
+                    if self._stop_requested:
+                        self._queue.requeue(batch[index:])
+                        break
+                    if event.cancelled:
+                        # Cancelled after the pop by an earlier event in
+                        # this batch; the single-pop loop would never
+                        # have popped it.
+                        continue
+                    if telemetry.enabled:
+                        # Span names bucket by the label's first dotted
+                        # component ("ssb", "rach", ...) to bound
+                        # cardinality; counters keep the full label.
+                        label = event.label or "unlabeled"
+                        started = perf_counter()
+                        event.callback(*event.args)
+                        telemetry.record_span(
+                            "sim.event." + label.partition(".")[0],
+                            started,
+                            perf_counter(),
+                        )
+                        telemetry.incr("sim.events." + label)
+                    else:
+                        event.callback(*event.args)
+                    self._events_fired += 1
+                    fired_this_run += 1
+                    if max_events is not None and fired_this_run >= max_events:
+                        self._queue.requeue(batch[index + 1:])
+                        horizon = (
+                            f" before {end_time}s" if end_time is not None else ""
+                        )
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}{horizon}"
+                        )
         finally:
             self._running = False
 
@@ -359,3 +424,176 @@ class PeriodicTask:
         if self._pending is not None:
             self._pending.cancel()
             self._pending = None
+
+
+class BurstMember:
+    """Handle for one payload registered on a :class:`BurstScheduler`.
+
+    Mirrors the :class:`PeriodicTask` resume contract: after
+    :meth:`stop`, :attr:`next_fire_s` is the first grid tick that has
+    not delivered yet, so a restarted schedule can resume without
+    repeating a tick.
+    """
+
+    __slots__ = ("payload", "label", "_grid", "_stopped")
+
+    def __init__(self, payload: Any, label: str, grid: "_BurstGrid") -> None:
+        self.payload = payload
+        self.label = label
+        self._grid = grid
+        self._stopped = False
+
+    @property
+    def next_fire_s(self) -> float:
+        """Scheduled time of the next tick that has not delivered yet."""
+        return self._grid.origin + self._grid.tick * self._grid.period
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Withdraw this member from future ticks.  Safe mid-delivery."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._grid.on_member_stopped()
+
+
+class _BurstGrid:
+    """One ``(first_fire, period)`` tick grid shared by N members."""
+
+    __slots__ = ("origin", "period", "members", "tick", "pending")
+
+    def __init__(self, origin: float, period: float) -> None:
+        self.origin = origin
+        self.period = period
+        self.members: List[BurstMember] = []
+        self.tick = 0
+        self.pending: Optional[Event] = None
+
+    def live_members(self) -> List[BurstMember]:
+        return [member for member in self.members if not member._stopped]
+
+    def label(self) -> str:
+        """Event label: the member's own label while the grid is
+        single-member (observability continuity with the per-station
+        ``PeriodicTask`` it replaces), an aggregate label once coalesced.
+        """
+        live = self.live_members()
+        if len(live) == 1:
+            return live[0].label
+        prefix = live[0].label.partition(".")[0] if live else "burst"
+        return f"{prefix}.x{len(live)}"
+
+    def on_member_stopped(self) -> None:
+        if self.pending is not None and not self.live_members():
+            self.pending.cancel()
+            self.pending = None
+
+
+class BurstScheduler:
+    """Coalesces periodic deliveries that share a tick grid.
+
+    Members registered with the same ``(first_fire, period)`` key share
+    one :class:`_BurstGrid`: a K-station deployment whose SSB phases
+    fall into G distinct phase slots schedules G heap events per period
+    instead of K, and each event hands the *whole* member group to the
+    ``deliver`` callback, in registration order — the entry point for
+    multi-station batched burst evaluation.
+
+    Determinism contract (load-bearing; pinned by the scheduler
+    equivalence tests):
+
+    * A **single-member grid** is externally indistinguishable from the
+      ``PeriodicTask`` it replaces: its event fires at the same times
+      with the same label, and the tick-advance / deliver / re-arm
+      sequence allocates event sequence numbers at the same execution
+      positions, so runs are byte-identical to the legacy per-station
+      scheduling for *any* workload.
+    * A **multi-member grid** re-arms once per tick (after the whole
+      group delivers) where the legacy path re-armed once per member
+      (interleaved with deliveries).  The two orderings diverge only if
+      some *other* event lands exactly on a shared grid tick.  Dense
+      topologies built by this repo therefore place coalesced phases on
+      non-integer-millisecond offsets, where the protocol layer — whose
+      RACH/handover delays all live on an integer-millisecond lattice —
+      provably cannot collide.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: Callable[[List[Any]], None],
+    ) -> None:
+        self._sim = sim
+        self._deliver = deliver
+        self._grids: dict = {}
+
+    @property
+    def grid_count(self) -> int:
+        """Number of distinct tick grids (heap events per period)."""
+        return len(self._grids)
+
+    def add(
+        self,
+        period_s: float,
+        payload: Any,
+        start_delay: float = 0.0,
+        label: str = "burst",
+    ) -> BurstMember:
+        """Register a payload; coalesces with an existing grid on exact
+        ``(origin, period)`` match, where ``origin = sim.now +
+        start_delay`` — the same float expression ``PeriodicTask``
+        evaluates, so single-member grids fire at bitwise-identical
+        times."""
+        if period_s <= 0.0:
+            raise SimulationError(f"period must be positive, got {period_s!r}")
+        if start_delay < 0.0:
+            raise SimulationError(
+                f"cannot schedule in the past: start_delay={start_delay!r}"
+            )
+        origin = self._sim.now + start_delay
+        key = (origin, period_s)
+        grid = self._grids.get(key)
+        if grid is None:
+            grid = _BurstGrid(origin, period_s)
+            self._grids[key] = grid
+        member = BurstMember(payload, label, grid)
+        grid.members.append(member)
+        if grid.pending is None and grid.tick == 0:
+            # Arm on first registration; later same-key members ride the
+            # already-armed event.  (A grid whose members all stopped
+            # stays retired — re-registering on it would skip ticks.)
+            grid.pending = self._sim.schedule(
+                start_delay, self._fire, grid, label=grid.label()
+            )
+        return member
+
+    def _fire(self, grid: _BurstGrid) -> None:
+        grid.pending = None
+        # The in-flight tick counts as delivered from here on, exactly
+        # like PeriodicTask._fire: a stop() issued inside the delivery
+        # callback must leave next_fire_s pointing past it.
+        grid.tick += 1
+        members = grid.live_members()
+        if members:
+            self._deliver([member.payload for member in members])
+        members = grid.live_members()
+        if not members:
+            return
+        next_time = grid.origin + grid.tick * grid.period
+        # Same clamped-reschedule guard as PeriodicTask.
+        delay = max(0.0, next_time - self._sim.now)
+        grid.pending = self._sim.schedule(
+            delay, self._fire, grid, label=grid.label()
+        )
+
+    def stop(self) -> None:
+        """Stop every member and cancel all armed events."""
+        for grid in self._grids.values():
+            for member in grid.members:
+                member._stopped = True
+            if grid.pending is not None:
+                grid.pending.cancel()
+                grid.pending = None

@@ -304,6 +304,12 @@ class TestSuite:
         assert set(derived["speedups"]) == {
             "antenna.gain", "codebook.gains", "fading.rician",
             "burst.measure", "fig2a.search", "fig2a.burst_heavy",
+            "dense.c64", "dense.c256", "dense.c1024",
         }
+        # Coalesced scheduling + the cell index must actually win on
+        # the dense corridor, even at quick-mode durations.
+        for n_cells in (64, 256, 1024):
+            assert derived["speedups"][f"dense.c{n_cells}"] > 1.0
+        assert derived["events_per_s"] > 0
         assert derived["artifacts_identical"] is True
         assert json.loads(out.read_text(encoding="utf-8")) == payload

@@ -1,0 +1,156 @@
+"""Coalesced burst scheduling: grids, equivalence, telemetry pin.
+
+The load-bearing claims of the ``BurstScheduler`` determinism contract:
+
+* a single-member grid fires at bitwise-identical times to the
+  ``PeriodicTask`` it replaces;
+* same ``(origin, period)`` registrations share one grid (one heap
+  event per tick, the whole group delivered together in registration
+  order);
+* member stop / scheduler stop retire grids without ghost events;
+* the engine re-resolves the ambient telemetry hub at run entry, so a
+  hub installed after construction still sees event spans.
+"""
+
+import pytest
+
+from repro.obs import Telemetry, use
+from repro.sim.engine import BurstScheduler, PeriodicTask, SimulationError, Simulator
+
+
+class TestSingleMemberEquivalence:
+    def test_fire_times_match_periodic_task_bitwise(self):
+        period = 0.02
+        delay = 0.0137
+
+        periodic_times = []
+        sim_a = Simulator()
+        PeriodicTask(
+            sim_a, period, lambda: periodic_times.append(sim_a.now),
+            start_delay=delay,
+        )
+        sim_a.run_until(1.0)
+
+        coalesced_times = []
+        sim_b = Simulator()
+        scheduler = BurstScheduler(
+            sim_b, lambda payloads: coalesced_times.append(sim_b.now)
+        )
+        scheduler.add(period, "station", start_delay=delay)
+        sim_b.run_until(1.0)
+
+        assert periodic_times  # the grid actually ran
+        # Bitwise equality, not approx: both arms must evaluate the
+        # same float expressions or dense runs drift apart.
+        assert coalesced_times == periodic_times
+
+    def test_next_fire_matches_periodic_task(self):
+        sim_a = Simulator()
+        task = PeriodicTask(sim_a, 0.02, lambda: None, start_delay=0.005)
+        sim_a.run_until(0.1)
+        task.stop()
+
+        sim_b = Simulator()
+        scheduler = BurstScheduler(sim_b, lambda payloads: None)
+        member = scheduler.add(0.02, "s", start_delay=0.005)
+        sim_b.run_until(0.1)
+        member.stop()
+
+        assert member.next_fire_s == task.next_fire_s
+
+
+class TestCoalescing:
+    def test_same_key_members_share_one_grid(self):
+        sim = Simulator()
+        delivered = []
+        scheduler = BurstScheduler(sim, delivered.append)
+        for name in ("a", "b", "c"):
+            scheduler.add(0.02, name, start_delay=0.01)
+        scheduler.add(0.02, "d", start_delay=0.015)  # different phase
+        assert scheduler.grid_count == 2
+        sim.run_until(0.02)
+        # One delivery per grid tick, whole group in registration order.
+        assert ["a", "b", "c"] in delivered
+        assert ["d"] in delivered
+
+    def test_coalesced_tick_is_one_event(self):
+        sim = Simulator()
+        scheduler = BurstScheduler(sim, lambda payloads: None)
+        for name in ("a", "b", "c"):
+            scheduler.add(0.02, name)
+        sim.run_until(0.05)  # ticks at 0.0, 0.02, 0.04
+        assert sim.events_fired == 3
+
+    def test_stopped_member_leaves_tick(self):
+        sim = Simulator()
+        delivered = []
+        scheduler = BurstScheduler(sim, delivered.append)
+        scheduler.add(0.02, "a")
+        member = scheduler.add(0.02, "b")
+        sim.run_until(0.01)
+        member.stop()
+        sim.run_until(0.03)
+        assert delivered == [["a", "b"], ["a"]]
+
+    def test_all_members_stopped_cancels_event(self):
+        sim = Simulator()
+        scheduler = BurstScheduler(sim, lambda payloads: None)
+        members = [scheduler.add(0.02, name) for name in ("a", "b")]
+        sim.run_until(0.01)
+        for member in members:
+            member.stop()
+        assert sim.pending_events == 0
+
+    def test_stop_inside_delivery_counts_tick(self):
+        sim = Simulator()
+        handles = {}
+
+        def deliver(payloads):
+            handles["m"].stop()
+
+        scheduler = BurstScheduler(sim, deliver)
+        handles["m"] = scheduler.add(1.0, "a", start_delay=0.25)
+        sim.run_until(2.0)
+        assert handles["m"].next_fire_s == pytest.approx(1.25)
+        assert sim.pending_events == 0
+
+    def test_scheduler_stop_cancels_everything(self):
+        sim = Simulator()
+        delivered = []
+        scheduler = BurstScheduler(sim, delivered.append)
+        scheduler.add(0.02, "a")
+        scheduler.add(0.03, "b")
+        sim.run_until(0.01)
+        scheduler.stop()
+        sim.run_until(0.2)
+        assert delivered == [["a"], ["b"]]  # only the t=0 ticks
+        assert sim.pending_events == 0
+
+    def test_rejects_bad_arguments(self):
+        scheduler = BurstScheduler(Simulator(), lambda payloads: None)
+        with pytest.raises(SimulationError):
+            scheduler.add(0.0, "a")
+        with pytest.raises(SimulationError):
+            scheduler.add(0.02, "a", start_delay=-0.1)
+
+    def test_grid_label_aggregates(self):
+        sim = Simulator()
+        scheduler = BurstScheduler(sim, lambda payloads: None)
+        member = scheduler.add(0.02, "a", label="ssb.cellA")
+        assert member.next_fire_s == 0.0
+        grid = member._grid
+        assert grid.label() == "ssb.cellA"
+        scheduler.add(0.02, "b", label="ssb.cellB")
+        assert grid.label() == "ssb.x2"
+
+
+class TestTelemetryReresolve:
+    def test_hub_installed_after_construction_sees_event_spans(self):
+        sim = Simulator()  # constructed while no hub is installed
+        sim.schedule(0.5, lambda: None, label="ssb.cellA")
+        hub = Telemetry()
+        with use(hub):
+            sim.run_until(1.0)
+        summary = hub.summary()
+        assert "sim.event.ssb" in summary["spans"]
+        assert summary["counters"]["sim.events.ssb.cellA"] == 1

@@ -293,3 +293,115 @@ class TestPeriodicTask:
     def test_rejects_nonpositive_period(self):
         with pytest.raises(SimulationError):
             PeriodicTask(Simulator(), 0.0, lambda: None)
+
+
+class TestPopBatch:
+    def test_returns_all_head_timestamp_events_in_seq_order(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, label="later")
+        a = queue.push(1.0, lambda: None, label="a")
+        b = queue.push(1.0, lambda: None, label="b")
+        batch = queue.pop_batch()
+        assert batch == [a, b]
+        assert len(queue) == 1
+
+    def test_skips_cancelled_members(self):
+        queue = EventQueue()
+        a = queue.push(1.0, lambda: None)
+        b = queue.push(1.0, lambda: None)
+        c = queue.push(1.0, lambda: None)
+        b.cancel()
+        assert queue.pop_batch() == [a, c]
+
+    def test_empty_queue(self):
+        assert EventQueue().pop_batch() == []
+
+    def test_requeue_restores_events(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        batch = queue.pop_batch()
+        queue.requeue(batch[1:])
+        assert len(queue) == 1
+        assert queue.pop() is batch[1]
+
+    def test_requeue_drops_events_cancelled_after_pop(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        batch = queue.pop_batch()
+        batch[1].cancel()
+        queue.requeue(batch[1:])
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+
+class TestBatchedRunLoop:
+    def test_same_time_event_cancelled_by_earlier_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handles = {}
+
+        def first():
+            fired.append("first")
+            handles["second"].cancel()
+
+        sim.schedule(1.0, first)
+        handles["second"] = sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run_until(2.0)
+        assert fired == ["first"]
+        assert sim.pending_events == 0
+
+    def test_stop_mid_batch_requeues_remainder(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run_until(2.0)
+        assert fired == ["first"]
+        assert sim.stop_requested
+        assert sim.pending_events == 1
+        assert sim.now == pytest.approx(1.0)
+        # Resuming fires the requeued event at its original time.
+        sim.run_until(2.0)
+        assert fired == ["first", "second"]
+
+    def test_max_events_mid_batch_leaves_queue_consistent(self):
+        sim = Simulator()
+        fired = []
+        for name in ("a", "b", "c"):
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        with pytest.raises(SimulationError):
+            sim.run_until(2.0, max_events=2)
+        assert fired == ["a", "b"]
+        assert sim.pending_events == 1
+        assert sim.now == pytest.approx(1.0)
+        sim.run_until(2.0)
+        assert fired == ["a", "b", "c"]
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestPeriodicClampedReschedule:
+    def test_callback_consuming_time_clamps_instead_of_crashing(self):
+        # White-box: a callback that (illegally) advances the clock past
+        # its own next tick must clamp the reschedule to "now", not
+        # raise a cannot-schedule-in-the-past error.
+        sim = Simulator()
+        times = []
+
+        def greedy_tick():
+            times.append(sim.now)
+            if len(times) == 1:
+                sim._now = 2.7  # jump past ticks at 1.0 and 2.0
+
+        PeriodicTask(sim, 1.0, greedy_tick)
+        sim.run_until(3.5, max_events=10)
+        # The overrun grid points (1.0, 2.0) fire as immediate clamped
+        # catch-up ticks at the advanced clock, then the drift-free
+        # grid resumes at origin + k * period.
+        assert times == [0.0, 2.7, 2.7, 3.0]
