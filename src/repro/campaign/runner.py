@@ -33,6 +33,7 @@ from repro.campaign.progress import NullProgress, ProgressReporter
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ArtifactStore
 from repro.obs import telemetry as _telemetry
+from repro.obs.telemetry import wall_clock
 from repro.obs.log import get_logger
 from repro.obs.report import merge_summaries
 
@@ -89,16 +90,16 @@ def _execute_cell_task(
     """
     record, telemetry_enabled = task
     cell = CampaignCell.from_dict(record)
-    started = time.monotonic()
+    started = wall_clock()
     hub = _telemetry.Telemetry() if telemetry_enabled else _telemetry.DISABLED
     try:
         with _telemetry.use(hub):
             payload = execute_cell(cell)
         summary = hub.summary() if telemetry_enabled else None
-        return record["cell_id"], payload, None, time.monotonic() - started, summary
+        return record["cell_id"], payload, None, wall_clock() - started, summary
     except Exception:  # collected, reported, retried on resume
         message = traceback.format_exc()
-        return record["cell_id"], None, message, time.monotonic() - started, None
+        return record["cell_id"], None, message, wall_clock() - started, None
 
 
 # -------------------------------------------------------------------- driver
@@ -301,7 +302,7 @@ def run_campaign(
     pending = [cell for cell in cells if cell.cell_id not in done_ids]
     result.skipped = len(done_ids)
     reporter.on_start(len(cells), len(done_ids))
-    started = time.monotonic()
+    started = wall_clock()
     _log.info(
         "campaign %r: %d cells (%d already done), workers=%d, telemetry=%s",
         spec.name, len(cells), len(done_ids), workers, telemetry,
@@ -349,7 +350,7 @@ def run_campaign(
         )
 
     reporter.on_finish(
-        result.executed, len(result.failures), time.monotonic() - started
+        result.executed, len(result.failures), wall_clock() - started
     )
     if result.failures:
         # Headline: the terminal exception line per cell.  Full

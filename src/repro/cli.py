@@ -9,7 +9,13 @@ Commands
 ``fsm``         print the Fig. 2b state machine (ASCII or DOT).
 ``report``      full markdown reproduction report.
 ``list``        print the plugin registries (protocols, scenarios,
-                codebooks, experiments), ``--json`` for machines.
+                codebooks, experiments) and the declared ``REPRO_*``
+                switch table, ``--json`` for machines.
+``lint``        AST-based determinism-contract linter (rules
+                DET001–DET006: wall-clock reads, ad-hoc RNG, ordering
+                hazards, raw switch reads, stream-key typos, mutable
+                state); exits 1 on findings, ``--baseline`` subtracts
+                grandfathered ones.
 ``campaign``    parallel experiment campaigns with persistent
                 artifacts: ``run`` / ``resume`` / ``summarize``.
 ``fleet``       population-scale multi-UE runs: ``run`` / ``summarize``
@@ -47,6 +53,8 @@ from repro.bench.harness import BenchError
 from repro.campaign.runner import CampaignError
 from repro.campaign.spec import SpecError
 from repro.campaign.store import StoreError
+from repro.lint.findings import LintError
+from repro.util.switches import SwitchError
 from repro.obs import ObsError, configure_logging
 from repro.registry import (
     CODEBOOKS,
@@ -57,8 +65,11 @@ from repro.registry import (
     entry_description,
 )
 
-#: The four public registries, in ``repro list`` display order.
-_REGISTRY_SECTIONS = ("protocols", "scenarios", "codebooks", "experiments")
+#: The ``repro list`` sections, in display order: the four public
+#: plugin registries plus the declared ``REPRO_*`` switch table.
+_REGISTRY_SECTIONS = (
+    "protocols", "scenarios", "codebooks", "experiments", "switches"
+)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -229,6 +240,10 @@ def _registry_records(section: str) -> List[dict]:
             }
             for _, scenario in SCENARIOS.items()
         ]
+    if section == "switches":
+        from repro.util.switches import switch_records
+
+        return switch_records()
     if section == "codebooks":
         return [
             {"name": name, "description": entry_description(factory)}
@@ -258,6 +273,17 @@ def _cmd_list(args: argparse.Namespace) -> int:
             headers = ["name", "duration (s)", "start x", "description"]
             rows = [
                 [r["name"], r["duration_s"], r["default_start_x"], r["description"]]
+                for r in records
+            ]
+        elif section == "switches":
+            headers = ["name", "default", "values", "description"]
+            rows = [
+                [
+                    r["name"],
+                    r["default"],
+                    "|".join(r["values"]),
+                    r["description"],
+                ]
                 for r in records
             ]
         elif section == "experiments":
@@ -341,6 +367,12 @@ def _fold_in_sidecar(artifact) -> None:
         return
     print(f"telemetry sidecar: {source}")
     _print_telemetry_top(summary)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -883,10 +915,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_cmd.add_argument("registry", nargs="?", default=None,
                           choices=_REGISTRY_SECTIONS,
-                          help="print one registry instead of all four")
+                          help="print one section instead of all five "
+                               "(four registries + the REPRO_* switch "
+                               "table)")
     list_cmd.add_argument("--json", action="store_true",
                           help="machine-readable output")
     list_cmd.set_defaults(func=_cmd_list)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism-contract linter (DET001-DET006)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings payload")
+    lint.add_argument("--baseline", nargs="?", default=None,
+                      const="lint-baseline.json", metavar="FILE",
+                      help="subtract grandfathered findings recorded in "
+                           "FILE (default lint-baseline.json)")
+    lint.add_argument("--write-baseline", nargs="?", default=None,
+                      const="lint-baseline.json", metavar="FILE",
+                      help="regenerate the baseline from the current "
+                           "tree instead of gating")
+    lint.set_defaults(func=_cmd_lint)
 
     campaign = sub.add_parser(
         "campaign",
@@ -1074,7 +1126,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (
         BenchError,
         CampaignError,
+        LintError,
         ObsError,
+        SwitchError,
         RegistryError,
         SpecError,
         StoreError,

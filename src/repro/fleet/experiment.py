@@ -40,6 +40,7 @@ DEFAULT_CORRIDOR_CELLS = 64
 
 #: Registered profile mixes: name -> builder ``(scenario, overrides) ->
 #: tuple of UserProfile``.
+# repro: lint-waive[DET006]: plugin registry, append-only at import time
 FLEET_MIXES: Dict[str, Callable[..., Tuple[UserProfile, ...]]] = {}
 
 

@@ -15,7 +15,6 @@ both paths produce byte-identical artifacts for the same spec.
 from __future__ import annotations
 
 import json
-import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,6 +49,7 @@ from repro.mobility.base import TimeShifted
 from repro.net.deployment import Deployment
 from repro.net.mobile import Mobile
 from repro.obs import telemetry as _telemetry
+from repro.obs.telemetry import wall_clock
 from repro.obs.log import get_logger
 
 try:  # Unix only; worker RSS stats degrade to None elsewhere
@@ -264,7 +264,7 @@ def run_built_fleet(
     spec = run.spec
     telemetry = _telemetry.current()
     started: List = []
-    started_wall = time.monotonic()
+    started_wall = wall_clock()
     if progress is not None:
         progress.on_start(len(run.users), spec.duration_s)
     try:
@@ -292,7 +292,7 @@ def run_built_fleet(
             users=results,
             aggregates=aggregate_users(results, spec.duration_s),
         )
-    elapsed = time.monotonic() - started_wall
+    elapsed = wall_clock() - started_wall
     if progress is not None:
         progress.on_finish(len(run.users), elapsed)
     _log.info("fleet %r: %d users ran %gs simulated in %.1fs wall",
@@ -427,7 +427,7 @@ def _execute_shard_task(
     memory behaviour without instrumenting the driver.
     """
     shard_hash = task["shard_hash"]
-    started = time.monotonic()
+    started = wall_clock()
     hub = _telemetry.Telemetry() if task["telemetry"] else _telemetry.DISABLED
     try:
         shard = FleetShard.from_dict(task["shard"])
@@ -446,10 +446,10 @@ def _execute_shard_task(
             )
         summary = hub.summary() if task["telemetry"] else None
         stats = {"max_rss_kb": _max_rss_kb()}
-        return shard_hash, payload, None, time.monotonic() - started, summary, stats
+        return shard_hash, payload, None, wall_clock() - started, summary, stats
     except Exception:  # collected, reported, retried on resume
         message = traceback.format_exc()
-        return shard_hash, None, message, time.monotonic() - started, None, None
+        return shard_hash, None, message, wall_clock() - started, None, None
 
 
 @dataclass
@@ -597,7 +597,7 @@ def run_fleet_sharded(
         reporter, spec.n_users, spec.duration_s
     )
     reporter.on_start(spec.n_users, spec.duration_s)
-    started_wall = time.monotonic()
+    started_wall = wall_clock()
     _log.info(
         "fleet %r: %d users in %d shards (%d already done), workers=%d, "
         "stream=%s",
@@ -682,7 +682,7 @@ def run_fleet_sharded(
     result.merged = _merge_shard_payloads(spec, shards, payloads)
     if store is not None:
         write_fleet_artifact(result.merged, store.merged_path)
-    reporter.on_finish(spec.n_users, time.monotonic() - started_wall)
+    reporter.on_finish(spec.n_users, wall_clock() - started_wall)
     return result
 
 

@@ -1,0 +1,42 @@
+"""``repro.lint``: the AST-based determinism-contract linter.
+
+Static analysis for the contracts this repo's byte-identity pins rest
+on: RNG flows only through named ``sim.rng`` streams, wall-clock reads
+stay inside telemetry/bench/progress code, every ``REPRO_*`` switch is
+declared, and nothing iterates an unordered container into an artifact
+or a hash.  Runtime equivalence tests catch violations *after* the
+damage; this package catches them at lint time.
+
+Entry points: ``repro lint [PATH...]`` (CLI), :class:`LintEngine`
+(library).  See :mod:`repro.lint.rules` for the rule set and
+:mod:`repro.lint.engine` for the waiver syntax.
+"""
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, module_key
+from repro.lint.engine import LintEngine, parse_waivers
+from repro.lint.findings import LINT_FORMAT, Finding, LintError, findings_payload
+from repro.lint.rules import RULES, default_rules
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LINT_FORMAT",
+    "LintConfig",
+    "LintEngine",
+    "LintError",
+    "RULES",
+    "apply_baseline",
+    "default_rules",
+    "findings_payload",
+    "load_baseline",
+    "module_key",
+    "parse_waivers",
+    "write_baseline",
+]

@@ -1,0 +1,56 @@
+"""The ``repro lint`` subcommand implementation.
+
+Kept out of :mod:`repro.cli` so the argparse wiring stays thin and the
+lint stack only imports when the command actually runs.
+
+Exit codes (shared with the campaign/fleet CLI conventions):
+
+* ``0`` — clean (no new findings),
+* ``1`` — findings,
+* ``2`` — operational error (bad path, malformed baseline), reported as
+  a one-line message, never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Finding, findings_payload
+
+
+def run_lint(args) -> int:
+    """Handler behind ``repro lint`` (raises ``LintError`` for exit 2)."""
+    engine = LintEngine()
+    checked, findings = engine.lint_paths(args.paths)
+
+    if args.write_baseline is not None:
+        target = write_baseline(findings, args.write_baseline)
+        print(
+            f"wrote {target}: {len(findings)} grandfathered finding(s) "
+            f"from {checked} file(s)"
+        )
+        return 0
+
+    if args.baseline is not None:
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+
+    if args.json:
+        print(json.dumps(findings_payload(findings, checked), indent=2,
+                         sort_keys=True))
+        return 1 if findings else 0
+
+    _print_findings(findings)
+    suffix = f" (baseline: {args.baseline})" if args.baseline else ""
+    if findings:
+        print(f"{len(findings)} finding(s) in {checked} file(s){suffix}")
+        return 1
+    print(f"clean: {checked} file(s), 0 findings{suffix}")
+    return 0
+
+
+def _print_findings(findings: List[Finding]) -> None:
+    for finding in findings:
+        print(finding.render())

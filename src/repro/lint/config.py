@@ -1,0 +1,118 @@
+"""Lint configuration: rule scopes, allowlists, declared namespaces.
+
+Everything repo-specific the rules consult lives here as data — module
+patterns (``fnmatch`` globs over *module keys*), the declared RNG
+stream-key namespace, the declared seeding sites — so a rule class
+stays a pure AST check and growing a contract means editing one table.
+
+Module keys
+-----------
+Rules never see raw filesystem paths: :func:`module_key` normalizes a
+path to the repo-relative form ``repro/net/deployment.py`` /
+``tests/test_x.py`` / ``benchmarks/test_y.py`` by anchoring on the last
+``repro`` / ``tests`` / ``benchmarks`` / ``examples`` component.  This
+makes scoping stable whether the linter is invoked on ``src/``, on an
+absolute path, or (in tests) on a copied tree under ``/tmp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Sequence, Tuple
+
+#: Path components that anchor a module key, by priority: the first one
+#: found scanning from the *right* wins, so ``src/repro/fleet/spec.py``
+#: keys as ``repro/fleet/spec.py`` and ``tests/test_lint.py`` as itself.
+_ANCHORS = ("repro", "tests", "benchmarks", "examples")
+
+
+def module_key(path: object) -> str:
+    """Repo-relative module key for ``path`` (posix separators)."""
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] in _ANCHORS:
+            return "/".join(parts[index:])
+    return parts[-1] if parts else ""
+
+
+def in_scope(key: str, patterns: Sequence[str]) -> bool:
+    """Whether module key ``key`` matches any of the fnmatch patterns."""
+    return any(fnmatch(key, pattern) for pattern in patterns)
+
+
+def _default_switch_names() -> Tuple[str, ...]:
+    """The declared ``REPRO_*`` switch names (single source of truth)."""
+    from repro.util.switches import SWITCHES
+
+    return tuple(sorted(SWITCHES))
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scopes and namespaces the determinism rules check against."""
+
+    # -- DET001: modules whose *business* is the wall clock.  Progress
+    # reporters are allowlisted by filename: every subsystem's
+    # ``progress.py`` is wall-clock UI by construction.
+    wall_clock_allow: Tuple[str, ...] = (
+        "repro/obs/*",
+        "repro/bench/*",
+        "*/progress.py",
+        "tests/*",
+        "benchmarks/*",
+        "examples/*",
+    )
+
+    # -- DET002: the declared seeding sites, the only modules allowed
+    # to call ``numpy.random.default_rng`` (everything else must draw
+    # from a named registry stream).
+    seeding_sites: Tuple[str, ...] = (
+        "repro/sim/rng.py",
+        "repro/fleet/spec.py",
+        "repro/fleet/runner.py",
+        "repro/bench/*",
+        "tests/*",
+        "benchmarks/*",
+        "examples/*",
+    )
+
+    # -- DET004: the one module that may read REPRO_* names from the
+    # environment (the declared switch table itself).
+    switch_modules: Tuple[str, ...] = ("repro/util/switches.py",)
+
+    #: Declared REPRO_* switch names; literals outside this set are
+    #: undeclared switches wherever they appear.
+    switch_names: Tuple[str, ...] = field(default_factory=_default_switch_names)
+
+    # -- DET005: the declared RNG stream-key namespace.  Exact names
+    # plus prefixes for per-link / per-user families; a literal key
+    # outside the namespace is a silent stream fork (usually a typo).
+    stream_key_names: Tuple[str, ...] = ("uplink", "mobility")
+    stream_key_prefixes: Tuple[str, ...] = (
+        "decode/",
+        "shadowing/",
+        "blockage/",
+        "fading/",
+        "user/",
+    )
+    #: DET005 runs on library code only: tests mint scratch stream
+    #: names deliberately.
+    stream_key_scope: Tuple[str, ...] = ("repro/*",)
+    #: The module defining the stream machinery is exempt (it derives
+    #: seeds from caller-supplied names).
+    stream_key_allow: Tuple[str, ...] = ("repro/sim/rng.py",)
+
+    # -- DET006: packages whose determinism pins forbid hidden mutable
+    # state (mutable default args, module-level mutable containers).
+    mutable_state_scope: Tuple[str, ...] = (
+        "repro/sim/*",
+        "repro/phy/*",
+        "repro/net/*",
+        "repro/fleet/*",
+    )
+
+
+#: The default configuration used by the CLI and the test suite.
+DEFAULT_CONFIG = LintConfig()

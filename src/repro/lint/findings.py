@@ -1,0 +1,74 @@
+"""Finding records and the machine-readable lint payload schema."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: ``repro lint --json`` payload schema version.
+LINT_FORMAT = 1
+
+
+class LintError(Exception):
+    """Operational lint failure: bad path, unparseable source, malformed
+    baseline or config.  The CLI turns these into a one-line message and
+    exit status 2 (no traceback)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism-contract violation at a source location.
+
+    ``path`` is the *module key* (``repro/net/deployment.py``-style,
+    see :func:`repro.lint.config.module_key`) used for scoping and
+    baseline matching; ``display_path`` is the path the user passed in,
+    for clickable output.  ``text`` is the stripped source line — the
+    line-number-free ingredient of the baseline key, so a grandfathered
+    finding survives unrelated edits above it.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    text: str = ""
+    display_path: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline grandfathering."""
+        return (self.rule, self.path, self.text)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+        }
+
+    def render(self) -> str:
+        where = self.display_path or self.path
+        return f"{where}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def findings_payload(
+    findings: List[Finding], checked_files: int
+) -> Dict[str, object]:
+    """The ``repro lint --json`` payload for a finished run."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "format": LINT_FORMAT,
+        "checked_files": checked_files,
+        "findings": [f.to_dict() for f in sorted(findings, key=lambda f: f.sort_key)],
+        "counts": dict(sorted(counts.items())),
+    }

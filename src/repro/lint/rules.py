@@ -1,0 +1,501 @@
+"""The determinism-contract rules, DET001–DET006.
+
+Each rule is a pure AST check with a stable ID; everything repo-specific
+(allowlisted modules, declared namespaces) comes from the
+:class:`~repro.lint.config.LintConfig` passed to :meth:`check`.  The
+contracts these rules pin are the ones every byte-identity test in this
+repo stakes its correctness on:
+
+DET001  wall-clock reads outside telemetry/bench/progress modules
+DET002  global or ad-hoc RNG outside the declared seeding sites
+DET003  unordered-container iteration flowing into artifacts/hashes/RNG
+DET004  raw ``os.environ`` reads of ``REPRO_*`` switches (or undeclared
+        switch names anywhere)
+DET005  RNG stream-key literals outside the declared key namespace
+DET006  mutable default arguments / module-level mutable state in the
+        simulation packages
+
+Adding a rule: subclass :class:`Rule`, set ``rule_id`` / ``title``,
+implement ``check(ctx, config)`` yielding findings via
+``ctx.finding(...)``, and append an instance in :func:`default_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.config import LintConfig, in_scope
+from repro.lint.engine import ModuleContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class: one stable-ID determinism check."""
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check(
+        self, ctx: ModuleContext, config: LintConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------- DET001
+#: Qualified names whose call reads the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """DET001: wall-clock reads outside telemetry/bench/progress code.
+
+    Wall-clock values anywhere else can leak into artifacts, seeds, or
+    control flow and silently break byte-identity pins.  Sanctioned
+    telemetry code uses :data:`repro.obs.telemetry.wall_clock`.
+    """
+
+    rule_id = "DET001"
+    title = "wall-clock read outside telemetry/bench/progress modules"
+
+    def check(self, ctx, config):
+        if in_scope(ctx.key, config.wall_clock_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified(node.func)
+            if qual in _WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"wall-clock read {qual}() outside the allowlisted "
+                    f"telemetry/bench/progress modules; use "
+                    f"repro.obs.telemetry.wall_clock for spans, or the "
+                    f"simulated clock for simulation state",
+                )
+
+
+# --------------------------------------------------------------- DET002
+#: numpy.random attributes that are *not* the legacy global-state API.
+_NUMPY_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+
+class AdHocRngRule(Rule):
+    """DET002: global or ad-hoc RNG outside the declared seeding sites.
+
+    All randomness must flow through named ``sim.rng`` registry streams
+    (or the fleet's content-hash-derived per-user seeds).  The stdlib
+    ``random`` module and numpy's legacy global API are process-wide
+    mutable state; a bare ``default_rng`` call outside a declared
+    seeding site is an undeclared seed source.
+    """
+
+    rule_id = "DET002"
+    title = "global or ad-hoc RNG outside declared seeding sites"
+
+    def check(self, ctx, config):
+        declared = in_scope(ctx.key, config.seeding_sites)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            "stdlib random is process-global state; draw "
+                            "from a named sim.rng registry stream instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "stdlib random is process-global state; draw "
+                        "from a named sim.rng registry stream instead",
+                    )
+            elif isinstance(node, ast.Call):
+                qual = ctx.qualified(node.func)
+                if qual is None:
+                    continue
+                if qual.startswith("numpy.random."):
+                    attr = qual.split(".", 2)[2]
+                    if attr.split(".")[0] not in _NUMPY_RANDOM_OK:
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"legacy global-state numpy API {qual}(); "
+                            f"use a named sim.rng registry stream",
+                        )
+                        continue
+                if (
+                    qual == "numpy.random.default_rng"
+                    or qual.endswith(".default_rng")
+                    or qual == "default_rng"
+                ) and not declared:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "default_rng() outside the declared seeding sites "
+                        "(sim/rng.py, fleet/spec.py, fleet/runner.py, "
+                        "bench, tests); derive streams from the registry",
+                    )
+
+
+# --------------------------------------------------------------- DET003
+#: Sinks whose inputs must have a deterministic order: artifact writers,
+#: content hashes, and RNG stream creation.
+_ORDER_SINKS = ("json.dump", "json.dumps")
+
+
+def _sink_name(ctx: ModuleContext, node: ast.Call) -> Optional[str]:
+    qual = ctx.qualified(node.func)
+    if qual in _ORDER_SINKS:
+        return qual
+    if qual is not None and (
+        qual.startswith("hashlib.") or qual.endswith(".derive_seed")
+        or qual == "derive_seed"
+    ):
+        return qual
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "stream":
+        return f"{ctx.qualified(node.func) or '<rng>.stream'}"
+    return None
+
+
+def _unordered_subexprs(node: ast.AST, ordered: bool) -> Iterator[ast.AST]:
+    """Yield set displays/constructors not wrapped in an ordering call."""
+    if isinstance(node, (ast.Set, ast.SetComp)) and not ordered:
+        yield node
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name == "sorted":
+            for child in ast.iter_child_nodes(node):
+                yield from _unordered_subexprs(child, True)
+            return
+        if name in ("set", "frozenset") and not ordered:
+            yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _unordered_subexprs(child, ordered)
+
+
+class OrderingHazardRule(Rule):
+    """DET003: unordered containers flowing into artifacts/hashes/RNG.
+
+    Two concrete hazards: a ``json.dump``/``dumps`` call without
+    ``sort_keys=True`` (dict insertion order leaks into artifact
+    bytes), and a set display/constructor reaching a content hash,
+    artifact writer, or RNG stream key without an explicit
+    ``sorted(...)``.
+    """
+
+    rule_id = "DET003"
+    title = "unordered iteration flowing into an artifact, hash, or RNG"
+
+    def check(self, ctx, config):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = _sink_name(ctx, node)
+            if sink is None:
+                continue
+            if sink in ("json.dump", "json.dumps"):
+                keywords = {kw.arg: kw.value for kw in node.keywords}
+                has_splat = any(kw.arg is None for kw in node.keywords)
+                sort_keys = keywords.get("sort_keys")
+                sorts = (
+                    isinstance(sort_keys, ast.Constant)
+                    and sort_keys.value is True
+                )
+                if not sorts and not has_splat:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{sink}(...) without sort_keys=True: dict "
+                        f"insertion order would leak into artifact bytes",
+                    )
+            seen = set()
+            for arg in list(node.args) + [
+                kw.value for kw in node.keywords
+            ]:
+                for offender in _unordered_subexprs(arg, False):
+                    marker = (offender.lineno, offender.col_offset)
+                    if marker in seen:
+                        continue
+                    seen.add(marker)
+                    yield ctx.finding(
+                        self.rule_id,
+                        offender,
+                        f"unordered set expression flows into {sink}(); "
+                        f"wrap it in sorted(...) to pin the order",
+                    )
+
+
+# --------------------------------------------------------------- DET004
+#: Qualified call names that read the process environment.
+_ENVIRON_READS = frozenset(
+    {"os.environ.get", "os.getenv", "os.environ.pop", "os.environ.setdefault"}
+)
+
+#: Call names whose first string argument names a switch (declared-name
+#: check applies even where the call itself is sanctioned).
+_SWITCH_NAME_SINKS = frozenset(
+    {"env_override", "switch_value", "switch", "setenv", "delenv"}
+)
+
+
+def _first_str_arg(node: ast.Call) -> Optional[Tuple[str, ast.AST]]:
+    for arg in node.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value, arg
+        break
+    return None
+
+
+class RawSwitchReadRule(Rule):
+    """DET004: raw ``os.environ`` reads of ``REPRO_*`` names, and
+    undeclared switch names anywhere.
+
+    Every runtime switch must live in the declared table
+    (:mod:`repro.util.switches`) so the tested matrix is the real
+    matrix; a raw read bypasses validation, and a misspelled name would
+    silently select the default path.
+    """
+
+    rule_id = "DET004"
+    title = "raw os.environ read of a REPRO_* switch / undeclared switch"
+
+    def check(self, ctx, config):
+        sanctioned = in_scope(ctx.key, config.switch_modules)
+        declared = set(config.switch_names)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                base = ctx.qualified(node.value)
+                index = node.slice
+                if (
+                    base == "os.environ"
+                    and isinstance(index, ast.Constant)
+                    and isinstance(index.value, str)
+                    and index.value.startswith("REPRO_")
+                    and not sanctioned
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"raw os.environ[{index.value!r}] access; go "
+                        f"through repro.util.switches.switch_value",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified(node.func) or ""
+            last = qual.rsplit(".", 1)[-1]
+            literal = _first_str_arg(node)
+            if literal is None or not literal[0].startswith("REPRO_"):
+                continue
+            name, arg_node = literal
+            if qual in _ENVIRON_READS and not sanctioned:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"raw {qual}({name!r}) read; go through "
+                    f"repro.util.switches.switch_value",
+                )
+            if (
+                qual in _ENVIRON_READS or last in _SWITCH_NAME_SINKS
+            ) and name not in declared:
+                yield ctx.finding(
+                    self.rule_id,
+                    arg_node,
+                    f"undeclared switch {name!r}; declare it in "
+                    f"repro.util.switches (declared: "
+                    f"{', '.join(sorted(declared))})",
+                )
+
+
+# --------------------------------------------------------------- DET005
+class StreamKeyRule(Rule):
+    """DET005: RNG stream-key literals outside the declared namespace.
+
+    Stream keys are a namespace, not free text: a typo'd key silently
+    forks a fresh stream with a different seed, and every draw after it
+    diverges.  Literal keys (including f-string prefixes) must match
+    the declared names/prefixes in the lint config.
+    """
+
+    rule_id = "DET005"
+    title = "RNG stream key outside the declared namespace"
+
+    def _literal_prefix(
+        self, node: ast.AST
+    ) -> Optional[Tuple[str, bool]]:
+        """(text, is_prefix_only) for a checkable key expression."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value, False
+        if isinstance(node, ast.JoinedStr) and node.values:
+            first = node.values[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                return first.value, True
+        return None
+
+    def _in_namespace(
+        self, text: str, prefix_only: bool, config: LintConfig
+    ) -> bool:
+        if not prefix_only:
+            return text in config.stream_key_names or any(
+                text.startswith(p) for p in config.stream_key_prefixes
+            )
+        return any(
+            text.startswith(p) or p.startswith(text)
+            for p in config.stream_key_prefixes
+        ) or any(name.startswith(text) for name in config.stream_key_names)
+
+    def check(self, ctx, config):
+        if not in_scope(ctx.key, config.stream_key_scope):
+            return
+        if in_scope(ctx.key, config.stream_key_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            key_arg: Optional[ast.AST] = None
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "stream"
+                and len(node.args) >= 1
+            ):
+                key_arg = node.args[0]
+            else:
+                qual = ctx.qualified(node.func) or ""
+                if (
+                    qual == "derive_seed" or qual.endswith(".derive_seed")
+                ) and len(node.args) >= 2:
+                    key_arg = node.args[1]
+            if key_arg is None:
+                continue
+            literal = self._literal_prefix(key_arg)
+            if literal is None:
+                continue  # dynamic keys are checked at runtime, not here
+            text, prefix_only = literal
+            if not self._in_namespace(text, prefix_only, config):
+                yield ctx.finding(
+                    self.rule_id,
+                    key_arg,
+                    f"stream key {text!r} is outside the declared "
+                    f"namespace (names: "
+                    f"{', '.join(config.stream_key_names)}; prefixes: "
+                    f"{', '.join(config.stream_key_prefixes)}) — a typo "
+                    f"here silently forks a fresh RNG stream",
+                )
+
+
+# --------------------------------------------------------------- DET006
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "Counter", "bytearray",
+     "OrderedDict"}
+)
+
+
+def _mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableStateRule(Rule):
+    """DET006: mutable defaults / module-level mutable state in the
+    simulation packages.
+
+    A mutable default argument is shared across calls; module-level
+    mutable containers are shared across trials in one process but
+    fresh in a spawned worker — both make results depend on execution
+    history instead of the spec.
+    """
+
+    rule_id = "DET006"
+    title = "mutable default argument or module-level mutable state"
+
+    def check(self, ctx, config):
+        if not in_scope(ctx.key, config.mutable_state_scope):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                args = node.args
+                defaults: List[ast.AST] = list(args.defaults) + [
+                    d for d in args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _mutable_value(default):
+                        label = getattr(node, "name", "<lambda>")
+                        yield ctx.finding(
+                            self.rule_id,
+                            default,
+                            f"mutable default argument in {label}(); "
+                            f"default to None and allocate inside",
+                        )
+        for node in ctx.tree.body:
+            targets: Sequence[ast.AST] = ()
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _mutable_value(value):
+                continue
+            names = [
+                t.id for t in targets if isinstance(t, ast.Name)
+            ]
+            if names == ["__all__"]:
+                continue  # export list: mutated by no one, by convention
+            yield ctx.finding(
+                self.rule_id,
+                value,
+                f"module-level mutable state "
+                f"({', '.join(names) or 'assignment'}); hold per-run state "
+                f"on the Deployment/run objects instead",
+            )
+
+
+def default_rules() -> List[Rule]:
+    """The shipped rule set, in rule-ID order."""
+    return [
+        WallClockRule(),
+        AdHocRngRule(),
+        OrderingHazardRule(),
+        RawSwitchReadRule(),
+        StreamKeyRule(),
+        MutableStateRule(),
+    ]
+
+
+#: rule_id -> rule instance, for docs and the CLI.
+RULES = {rule.rule_id: rule for rule in default_rules()}

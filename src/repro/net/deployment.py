@@ -51,7 +51,6 @@ artifacts are byte-identical with the index on or off.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -69,6 +68,7 @@ from repro.sim.engine import BurstScheduler, PeriodicTask, Simulator
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
+from repro.util.switches import switch_value
 
 _log = get_logger("net.deployment")
 
@@ -94,15 +94,6 @@ class DeploymentConfig:
     #: raises.  ``None`` restricts pruning to trajectories with a
     #: horizon-free bound (static, rotation, waypoint paths).
     horizon_s: Optional[float] = None
-
-
-def _env_choice(name: str, default: str, allowed: Tuple[str, ...]) -> str:
-    value = os.environ.get(name, default)
-    if value not in allowed:
-        raise ValueError(
-            f"{name} must be one of {allowed}, got {value!r}"
-        )
-    return value
 
 
 class Deployment:
@@ -132,17 +123,13 @@ class Deployment:
         self._started = False
         #: Cross-user burst delivery path; the per-mobile loop is kept
         #: as the reference for equivalence tests and perf comparison.
-        self.fleet_batch = os.environ.get("REPRO_FLEET_PATH", "batch") != "scalar"
+        self.fleet_batch = switch_value("REPRO_FLEET_PATH") != "scalar"
         #: Burst scheduling mode; ``legacy`` keeps the original
         #: one-PeriodicTask-per-station reference path.
-        self.burst_sched = _env_choice(
-            "REPRO_BURST_SCHED", "coalesced", ("coalesced", "legacy")
-        )
+        self.burst_sched = switch_value("REPRO_BURST_SCHED")
         #: Spatial pruning switch; the index is also self-disabling
         #: whenever safety cannot be proven (see _build_cell_index).
-        self.cell_index_enabled = (
-            _env_choice("REPRO_CELL_INDEX", "on", ("on", "off")) == "on"
-        )
+        self.cell_index_enabled = switch_value("REPRO_CELL_INDEX") == "on"
         #: mobile_id -> candidate cell ids (stations it can ever hear).
         #: ``None`` means pruning is off; a missing key means that
         #: mobile could not be bounded and is never pruned.

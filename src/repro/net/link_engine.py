@@ -26,8 +26,6 @@ wall clock.
 
 from __future__ import annotations
 
-import os
-from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -36,8 +34,10 @@ from repro.geometry.pose import Pose
 from repro.measure.report import RssMeasurement
 from repro.net.base_station import BaseStation
 from repro.obs import telemetry as _telemetry
+from repro.obs.telemetry import wall_clock
 from repro.phy.channel import Channel
 from repro.sim.rng import RngRegistry
+from repro.util.switches import switch_value
 
 
 class LinkEngine:
@@ -83,7 +83,7 @@ class LinkEngine:
         self.mobile_tx_power_dbm = 5.0
         #: Burst-evaluation path; the scalar reference loop exists for
         #: perf comparison and equivalence tests.
-        self.vectorized = os.environ.get("REPRO_BURST_PATH", "vectorized") != "scalar"
+        self.vectorized = switch_value("REPRO_BURST_PATH") != "scalar"
         # Ambient telemetry: burst evaluation is the wall-clock hot
         # path, so spans are dispatched behind an ``enabled`` check.
         self._telemetry = _telemetry.current()
@@ -132,14 +132,14 @@ class LinkEngine:
                 station, mobile_id, mobile_pose, rx_gain_fn, rx_beam,
                 time_s, detection_snr_db,
             )
-        started = perf_counter()
+        started = wall_clock()
         try:
             return self._measure_burst_impl(
                 station, mobile_id, mobile_pose, rx_gain_fn, rx_beam,
                 time_s, detection_snr_db,
             )
         finally:
-            telemetry.record_span("phy.measure_burst", started, perf_counter())
+            telemetry.record_span("phy.measure_burst", started, wall_clock())
             telemetry.incr("phy.bursts_measured")
 
     def _measure_burst_impl(
@@ -222,14 +222,14 @@ class LinkEngine:
             return self._measure_burst_batch_impl(
                 station, requests, time_s, detection_snr_db
             )
-        started = perf_counter()
+        started = wall_clock()
         try:
             return self._measure_burst_batch_impl(
                 station, requests, time_s, detection_snr_db
             )
         finally:
             telemetry.record_span(
-                "phy.measure_burst_batch", started, perf_counter()
+                "phy.measure_burst_batch", started, wall_clock()
             )
             telemetry.incr("phy.bursts_measured", len(requests))
 
@@ -322,12 +322,12 @@ class LinkEngine:
         telemetry = self._telemetry
         if not telemetry.enabled:
             return self._measure_burst_multi_impl(groups, time_s, detection_snr_db)
-        started = perf_counter()
+        started = wall_clock()
         try:
             return self._measure_burst_multi_impl(groups, time_s, detection_snr_db)
         finally:
             telemetry.record_span(
-                "phy.measure_burst_multi", started, perf_counter()
+                "phy.measure_burst_multi", started, wall_clock()
             )
             telemetry.incr(
                 "phy.bursts_measured", sum(len(r) for _, r in groups)

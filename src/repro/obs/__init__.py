@@ -45,6 +45,7 @@ from repro.obs.telemetry import (
     current,
     set_current,
     use,
+    wall_clock,
 )
 
 __all__ = [
@@ -67,6 +68,7 @@ __all__ = [
     "sidecar_path",
     "top_rows",
     "use",
+    "wall_clock",
     "write_chrome_trace",
     "write_telemetry",
 ]

@@ -37,6 +37,15 @@ from typing import Dict, Iterator, List, Optional, Tuple
 #: Telemetry summary schema version.
 TELEMETRY_FORMAT = 1
 
+#: The sanctioned wall-clock reader for code outside the telemetry /
+#: bench / progress layers.  A direct alias of ``time.perf_counter``
+#: (zero call overhead), it exists so the determinism linter (rule
+#: DET001 in :mod:`repro.lint`) can reject raw ``time`` / ``datetime``
+#: reads everywhere else: wall-clock values obtained here may feed
+#: telemetry spans and progress reporting only, never simulation state
+#: or artifacts.
+wall_clock = perf_counter
+
 
 class _NullSpan:
     """Shared no-op span handed out by disabled hubs."""

@@ -18,10 +18,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs import telemetry as _telemetry
+from repro.obs.telemetry import wall_clock
 
 
 class SimulationError(RuntimeError):
@@ -305,12 +305,12 @@ class Simulator:
                         # component ("ssb", "rach", ...) to bound
                         # cardinality; counters keep the full label.
                         label = event.label or "unlabeled"
-                        started = perf_counter()
+                        started = wall_clock()
                         event.callback(*event.args)
                         telemetry.record_span(
                             "sim.event." + label.partition(".")[0],
                             started,
-                            perf_counter(),
+                            wall_clock(),
                         )
                         telemetry.incr("sim.events." + label)
                     else:

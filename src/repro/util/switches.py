@@ -1,0 +1,138 @@
+"""The declared table of ``REPRO_*`` environment switches.
+
+Every runtime behaviour toggle this project reads from the environment
+is declared here — name, allowed values, default, and what the switch
+trades off — and read through :func:`switch_value`.  Centralizing the
+reads buys three things:
+
+* the byte-identity test matrix (``tests/test_dense_topology.py``,
+  ``tests/test_fleet_equivalence.py``, the bench suites) can enumerate
+  the full switch space instead of chasing ad-hoc ``os.environ`` reads;
+* an undeclared or misspelled switch name is a hard error, not a
+  silently-ignored environment variable; and
+* the :mod:`repro.lint` determinism linter (rule DET004) can statically
+  reject any raw ``os.environ`` read of a ``REPRO_*`` name outside this
+  module.
+
+``repro list switches`` prints the table.
+
+Values are read from the environment *at call time* (not import time),
+so the bench suites' ``env_override`` contexts and test monkeypatching
+behave as expected.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class SwitchError(ValueError):
+    """An undeclared switch name or an out-of-range switch value.
+
+    A ``ValueError`` subclass so library callers and tests can keep
+    catching ``ValueError``; the CLI maps it to a one-line exit 2.
+    """
+
+
+@dataclass(frozen=True)
+class Switch:
+    """One declared environment switch."""
+
+    name: str
+    default: str
+    values: Tuple[str, ...]
+    description: str
+
+
+#: The declared switches, in display order.  Adding a runtime toggle
+#: means adding a row here — DET004 rejects raw reads elsewhere.
+_TABLE: Tuple[Switch, ...] = (
+    Switch(
+        name="REPRO_BURST_PATH",
+        default="vectorized",
+        values=("vectorized", "scalar"),
+        description=(
+            "LinkEngine burst evaluation: the vectorized batch path or "
+            "the scalar per-dwell reference loop (byte-identical)"
+        ),
+    ),
+    Switch(
+        name="REPRO_BURST_SCHED",
+        default="coalesced",
+        values=("coalesced", "legacy"),
+        description=(
+            "Burst scheduling: one coalesced heap event per shared SSB "
+            "tick, or the legacy one-PeriodicTask-per-station reference"
+        ),
+    ),
+    Switch(
+        name="REPRO_FLEET_PATH",
+        default="batch",
+        values=("batch", "scalar"),
+        description=(
+            "Burst delivery: the cross-user batched grid call or the "
+            "per-mobile reference loop (byte-identical)"
+        ),
+    ),
+    Switch(
+        name="REPRO_CELL_INDEX",
+        default="on",
+        values=("on", "off"),
+        description=(
+            "Spatial cell index: prune provably-undetectable "
+            "(station, mobile) pairs behind the link-budget guard "
+            "radius, or evaluate every pair"
+        ),
+    ),
+)
+
+#: Declared switches by name.
+SWITCHES: Dict[str, Switch] = {switch.name: switch for switch in _TABLE}
+
+
+def declared_switches() -> Tuple[Switch, ...]:
+    """The declared switch table, in display order."""
+    return _TABLE
+
+
+def switch(name: str) -> Switch:
+    """The declaration for ``name``; ``SwitchError`` if undeclared."""
+    try:
+        return SWITCHES[name]
+    except KeyError:
+        raise SwitchError(
+            f"undeclared switch {name!r}; declared: "
+            f"{', '.join(sorted(SWITCHES))}"
+        ) from None
+
+
+def switch_value(name: str) -> str:
+    """The validated current value of declared switch ``name``.
+
+    Reads the environment at call time; an unset variable yields the
+    declared default, and a value outside the declared set raises
+    ``SwitchError`` naming the switch (loud failure beats a typo
+    silently selecting the default path).
+    """
+    declared = switch(name)
+    value = os.environ.get(declared.name, declared.default)
+    if value not in declared.values:
+        raise SwitchError(
+            f"{declared.name} must be one of {declared.values}, got {value!r}"
+        )
+    return value
+
+
+def switch_records() -> list:
+    """JSON-friendly rows for ``repro list switches``."""
+    return [
+        {
+            "name": s.name,
+            "default": s.default,
+            "values": list(s.values),
+            "description": s.description,
+        }
+        for s in _TABLE
+    ]

@@ -1,0 +1,14 @@
+"""DET001 positive fixture: wall-clock reads in library code.
+
+Linted under a ``repro/net/*`` module key; expected findings: two
+DET001 (``time.time`` and ``datetime.datetime.now``).
+"""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    now = datetime.now()
+    return started, now

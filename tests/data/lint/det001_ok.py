@@ -1,0 +1,8 @@
+"""DET001 negative fixture: the sanctioned wall-clock accessor."""
+
+from repro.obs.telemetry import wall_clock
+
+
+def span():
+    started = wall_clock()
+    return wall_clock() - started

@@ -1,0 +1,15 @@
+"""DET002 positive fixture: ad-hoc RNG in library code.
+
+Linted under a ``repro/net/*`` module key; expected findings: three
+DET002 (``import random``, legacy ``np.random.normal``, and a bare
+``default_rng`` outside the declared seeding sites).
+"""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng(7)
+    return rng.normal() + np.random.normal() + random.random()

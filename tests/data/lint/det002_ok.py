@@ -1,0 +1,5 @@
+"""DET002 negative fixture: randomness from a named registry stream."""
+
+
+def draw(registry):
+    return registry.stream("decode/example").normal()

@@ -1,0 +1,13 @@
+"""DET003 positive fixture: unordered data flowing into artifacts.
+
+Expected findings: two DET003 (``json.dumps`` without ``sort_keys``,
+and a set constructor reaching a ``json.dumps`` sink unsorted).
+"""
+
+import json
+
+
+def dump(payload, tags):
+    blob = json.dumps(payload)
+    labels = json.dumps({"tags": set(tags)}, sort_keys=True)
+    return blob, labels

@@ -1,0 +1,9 @@
+"""DET003 negative fixture: explicit ordering at every sink."""
+
+import json
+
+
+def dump(payload, tags):
+    return json.dumps(
+        {"payload": payload, "tags": sorted(set(tags))}, sort_keys=True
+    )

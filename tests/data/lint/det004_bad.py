@@ -1,0 +1,16 @@
+"""DET004 positive fixture: raw/undeclared switch reads in library code.
+
+Linted under a ``repro/net/*`` module key; expected findings: four
+DET004 (raw ``os.environ.get`` of a declared switch, raw ``os.getenv``
+of an undeclared one — which also trips the declared-name check — and
+a raw ``os.environ[...]`` subscript).
+"""
+
+import os
+
+
+def flags():
+    fast = os.environ.get("REPRO_BURST_PATH", "vectorized")
+    undeclared = os.getenv("REPRO_TURBO")
+    sched = os.environ["REPRO_BURST_SCHED"]
+    return fast, undeclared, sched

@@ -1,0 +1,7 @@
+"""DET004 negative fixture: the declared-table accessor."""
+
+from repro.util.switches import switch_value
+
+
+def flags():
+    return switch_value("REPRO_BURST_PATH")

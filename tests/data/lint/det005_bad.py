@@ -1,0 +1,11 @@
+"""DET005 positive fixture: stream-key literals outside the namespace.
+
+Linted under a ``repro/net/*`` module key; expected findings: two
+DET005 (a typo'd ``.stream`` key and a typo'd ``derive_seed`` name).
+"""
+
+
+def streams(registry):
+    shadow = registry.stream("shadwoing/cell-0")
+    seed = registry.derive_seed(3, "uplnk")
+    return shadow, seed

@@ -1,0 +1,8 @@
+"""DET005 negative fixture: keys inside the declared namespace."""
+
+
+def streams(registry, user_id):
+    shadow = registry.stream("shadowing/cell-0")
+    uplink = registry.stream("uplink")
+    user = registry.stream(f"user/{user_id}")
+    return shadow, uplink, user

@@ -1,0 +1,22 @@
+"""DET006 positive fixture: hidden mutable state in simulation code.
+
+Linted under a ``repro/net/*`` module key; expected findings: four
+DET006 (two module-level mutable containers, one mutable positional
+default, one mutable keyword-only default).
+"""
+
+from typing import List
+
+CACHE = {}
+HISTORY: List[int] = []
+
+
+def append(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(items, *, seen={}):
+    for item in items:
+        seen[item] = seen.get(item, 0) + 1
+    return seen

@@ -1,0 +1,13 @@
+"""DET006 negative fixture: immutable module state, None defaults."""
+
+from typing import List, Optional, Tuple
+
+NAMES: Tuple[str, ...] = ("walk", "rotation")
+
+__all__ = ["NAMES", "append"]
+
+
+def append(item, bucket: Optional[List] = None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket

@@ -335,7 +335,10 @@ class TestListCli:
             "scenarios",
             "codebooks",
             "experiments",
+            "switches",
         }
+        switches = {s["name"]: s for s in payload["switches"]}
+        assert switches["REPRO_BURST_PATH"]["default"] == "vectorized"
         experiments = {e["name"]: e for e in payload["experiments"]}
         assert experiments["comparison"]["protocol_axis"] == "protocol"
         assert "silent-tracker" in experiments["comparison"]["protocols"]

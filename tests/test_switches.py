@@ -1,0 +1,74 @@
+"""Tests for the declared ``REPRO_*`` switch table."""
+
+import pytest
+
+from repro.cli import main
+from repro.util.switches import (
+    SWITCHES,
+    declared_switches,
+    switch,
+    switch_records,
+    switch_value,
+)
+
+
+class TestTable:
+    def test_declared_names(self):
+        assert set(SWITCHES) == {
+            "REPRO_BURST_PATH",
+            "REPRO_BURST_SCHED",
+            "REPRO_FLEET_PATH",
+            "REPRO_CELL_INDEX",
+        }
+
+    def test_defaults_are_legal_values(self):
+        for declared in declared_switches():
+            assert declared.default in declared.values
+            assert declared.description
+
+    def test_records_shape(self):
+        records = switch_records()
+        assert [record["name"] for record in records] == [
+            declared.name for declared in declared_switches()
+        ]
+        for record in records:
+            assert {"name", "default", "values", "description"} <= set(record)
+
+
+class TestSwitchValue:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BURST_PATH", raising=False)
+        assert switch_value("REPRO_BURST_PATH") == "vectorized"
+
+    def test_reads_env_at_call_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BURST_SCHED", "legacy")
+        assert switch_value("REPRO_BURST_SCHED") == "legacy"
+        monkeypatch.setenv("REPRO_BURST_SCHED", "coalesced")
+        assert switch_value("REPRO_BURST_SCHED") == "coalesced"
+
+    def test_bad_value_is_loud(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_INDEX", "maybe")
+        with pytest.raises(ValueError, match="REPRO_CELL_INDEX"):
+            switch_value("REPRO_CELL_INDEX")
+
+    def test_undeclared_name_is_loud(self):
+        with pytest.raises(ValueError, match="REPRO_TURBO"):
+            # repro: lint-waive[DET004]: probing the undeclared-name error
+            switch("REPRO_TURBO")
+
+
+class TestCli:
+    def test_bad_switch_value_is_one_line_exit_two(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BURST_SCHED", "bogus")
+        assert main(["fleet", "run", "--users", "2", "--duration", "0.5",
+                     "--out", "/dev/null"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_BURST_SCHED" in err
+        assert "Traceback" not in err
+
+    def test_list_switches(self, capsys):
+        assert main(["list", "switches"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_BURST_PATH" in out
+        assert "vectorized" in out
+        assert "REPRO_CELL_INDEX" in out
