@@ -282,6 +282,9 @@ def _run_sharded(
 ) -> None:
     """One sharded bench execution; optionally records worker peak RSS.
 
+    RSS figures originate in :func:`repro.obs.resources.max_rss_kb`
+    (the one project-wide sampler — the shard workers put its reading
+    in ``shard_stats``), so the unit here is KiB on every platform.
     ``spawn`` workers report their own high-water mark (``fork`` would
     inherit the driver's); the serial ``workers=1`` path measures the
     driver process and is excluded from ``rss_kb``.

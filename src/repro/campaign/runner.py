@@ -181,6 +181,7 @@ def execute_pooled(
     record_outcome: Callable,
     mp_context: Optional[str] = None,
     progress_handler: Optional[Callable] = None,
+    tick: Optional[Callable[[], None]] = None,
 ) -> None:
     """Run picklable tasks on the campaign worker pool.
 
@@ -197,6 +198,11 @@ def execute_pooled(
     them via :func:`progress_sink`; on the serial path the sink calls
     the handler directly.  Progress can never influence results — it
     only exists between a task starting and its outcome being recorded.
+
+    ``tick`` is a driver-side periodic callback (the fleet monitor's
+    stall detector polls from it): invoked once per drain-loop
+    iteration on the pool path, and between tasks on the serial path.
+    Like progress, it can observe but never influence results.
     """
     global _PROGRESS_SINK
     if workers <= 1 or len(tasks) == 1:
@@ -207,6 +213,8 @@ def execute_pooled(
         try:
             for task in tasks:
                 record_outcome(*task_fn(task))
+                if tick is not None:
+                    tick()
         finally:
             _PROGRESS_SINK = previous
         return
@@ -217,15 +225,17 @@ def execute_pooled(
         else _default_context()
     )
     pool_size = min(workers, len(tasks))
-    if progress_handler is None:
+    if progress_handler is None and tick is None:
         with ctx.Pool(processes=pool_size) as pool:
             for outcome in pool.imap_unordered(task_fn, tasks, chunksize=1):
                 record_outcome(*outcome)
         return
 
-    sink = ctx.Queue()
+    sink = ctx.Queue() if progress_handler is not None else None
 
     def drain() -> None:
+        if sink is None:
+            return
         while True:
             try:
                 event = sink.get_nowait()
@@ -233,12 +243,16 @@ def execute_pooled(
                 return
             progress_handler(event)
 
+    initializer = _pool_initializer if sink is not None else None
+    initargs = (sink,) if sink is not None else ()
     with ctx.Pool(
-        processes=pool_size, initializer=_pool_initializer, initargs=(sink,)
+        processes=pool_size, initializer=initializer, initargs=initargs
     ) as pool:
         pending = [pool.apply_async(task_fn, (task,)) for task in tasks]
         while pending:
             drain()
+            if tick is not None:
+                tick()
             still_running = []
             for handle in pending:
                 if handle.ready():

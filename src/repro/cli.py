@@ -27,14 +27,26 @@ Commands
                 against a committed baseline.
 ``obs``         observability: ``export`` (Chrome trace JSON for
                 Perfetto), ``top`` (hottest spans of a telemetry
-                artifact), ``diff`` (compare two runs), ``gate``
-                (disabled-telemetry overhead vs a bench baseline).
+                artifact or ledger run), ``diff`` (compare two runs),
+                ``gate`` (disabled-telemetry overhead vs a bench
+                baseline), ``history`` (the append-only run ledger),
+                ``regress`` (tolerance-gated span/duration comparison
+                of two ledger runs).
 
 ``--log-level`` / ``-v`` (global, before the command) control stdlib
 logging on the ``repro`` logger; ``--telemetry`` on ``campaign run`` /
 ``campaign resume`` / ``fleet run`` collects wall-clock span/counter
 summaries as sidecar artifacts without touching the deterministic
 outputs.
+
+Every ``campaign run/resume``, ``fleet run``, and ``bench`` invocation
+appends one entry (run ID, argv, content hashes, duration, status,
+telemetry summary, resources) to the run ledger — default
+``.repro/runs.jsonl``, redirected with ``--ledger FILE``, disabled
+with ``--no-ledger``.  ``fleet run --shards K --monitor`` adds worker
+heartbeats (events/s, RSS/CPU) and straggler warnings; ``--watch``
+collapses progress into one live status line.  None of this touches
+the deterministic artifacts.
 
 Unknown protocol / scenario / codebook / experiment names exit with
 status 2 and a message listing the registered choices.
@@ -281,7 +293,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 [
                     r["name"],
                     r["default"],
-                    "|".join(r["values"]),
+                    "|".join(r["values"]) or r.get("hint", ""),
                     r["description"],
                 ]
                 for r in records
@@ -341,6 +353,57 @@ def _campaign_spec_from_args(args: argparse.Namespace):
     )
 
 
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    """The run-ledger flags shared by every run-recording command."""
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="run-ledger path (default .repro/runs.jsonl)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not record this run in the ledger")
+
+
+def _ledger_from_args(args: argparse.Namespace):
+    from repro.obs.ledger import RunLedger
+
+    if getattr(args, "no_ledger", False):
+        return None
+    return RunLedger(getattr(args, "ledger", None))
+
+
+def _cli_command(args: argparse.Namespace) -> List[str]:
+    """The effective argv recorded in ledger entries (set by main())."""
+    return list(getattr(args, "cli_argv", None) or [])
+
+
+def _resolve_summary(path_or_id: str, ledger_path) -> dict:
+    """Telemetry summary from a file/dir path *or* a ledger run ID.
+
+    An existing path wins; a bare token that matches a ledger run ID
+    resolves to that entry's recorded telemetry summary.  Anything else
+    falls through to the usual friendly missing-artifact error.
+    """
+    from pathlib import Path
+
+    from repro.obs import load_telemetry
+    from repro.obs.ledger import RunLedger
+
+    if Path(path_or_id).exists():
+        return load_telemetry(path_or_id)
+    if "/" not in path_or_id and "\\" not in path_or_id:
+        try:
+            entry = RunLedger(ledger_path).find(path_or_id)
+        except ObsError:
+            entry = None
+        if entry is not None:
+            summary = entry.get("telemetry")
+            if not summary:
+                raise ObsError(
+                    f"ledger run {entry['run_id']} recorded no telemetry "
+                    "(re-run with --telemetry)"
+                )
+            return summary
+    return load_telemetry(path_or_id)
+
+
 def _print_telemetry_top(summary, limit: int = 10) -> None:
     from repro.obs import top_rows
 
@@ -378,22 +441,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaign.progress import ConsoleProgress
     from repro.campaign.runner import run_campaign
+    from repro.obs.ledger import record_run
 
     spec = _campaign_spec_from_args(args)
-    result = run_campaign(
-        spec,
-        out_dir=args.out,
-        workers=args.workers,
-        resume=not args.no_resume,
-        progress=None if args.quiet else ConsoleProgress(),
-        telemetry=args.telemetry,
-    )
+    with record_run(
+        _ledger_from_args(args), "campaign", _cli_command(args),
+        name=spec.name,
+    ) as rec:
+        rec.hashes = {"campaign": spec.spec_hash, "cells": spec.n_cells}
+        result = run_campaign(
+            spec,
+            out_dir=args.out,
+            workers=args.workers,
+            resume=not args.no_resume,
+            progress=None if args.quiet else ConsoleProgress(),
+            telemetry=args.telemetry,
+        )
+        if result.out_dir is not None:
+            rec.artifacts = str(result.out_dir)
+        merged = result.merged_telemetry()
+        rec.telemetry = merged
     _print_campaign_summary(
         spec, result.results_in_order(), len(result.payloads)
     )
     if args.out:
         print(f"artifacts in {result.out_dir}")
-    merged = result.merged_telemetry()
     if merged is not None:
         _print_telemetry_top(merged)
         if args.out:
@@ -404,17 +476,28 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
     from repro.campaign.progress import ConsoleProgress
     from repro.campaign.runner import resume_campaign
+    from repro.obs.ledger import record_run
 
-    result = resume_campaign(
-        args.out,
-        workers=args.workers,
-        progress=None if args.quiet else ConsoleProgress(),
-        telemetry=args.telemetry,
-    )
+    with record_run(
+        _ledger_from_args(args), "campaign-resume", _cli_command(args)
+    ) as rec:
+        rec.artifacts = str(args.out)
+        result = resume_campaign(
+            args.out,
+            workers=args.workers,
+            progress=None if args.quiet else ConsoleProgress(),
+            telemetry=args.telemetry,
+        )
+        rec.name = result.spec.name
+        rec.hashes = {
+            "campaign": result.spec.spec_hash,
+            "cells": result.spec.n_cells,
+        }
+        merged = result.merged_telemetry()
+        rec.telemetry = merged
     _print_campaign_summary(
         result.spec, result.results_in_order(), len(result.payloads)
     )
-    merged = result.merged_telemetry()
     if merged is not None:
         _print_telemetry_top(merged)
     return 0
@@ -459,14 +542,8 @@ def _print_bench_compare(comparisons, regressed, tolerance: float) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import (
-        compare_payloads,
-        incomparable_cases,
-        load_bench_json,
-        regressions,
-        run_bench,
-        run_fleet_bench,
-    )
+    from repro.bench import load_bench_json
+    from repro.obs.ledger import record_run
 
     if args.compare_tolerance < 0.0:
         # Validate before the (multi-minute) suite runs, not after.
@@ -476,7 +553,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    runner = run_fleet_bench if args.suite == "fleet" else run_bench
     if args.out is None:
         # A gating run (--compare) without an explicit --out would
         # resolve to the committed baseline file and silently overwrite
@@ -488,6 +564,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # point at the baseline file, and loading it after the run wrote
     # there would compare the run against itself.
     baseline = load_bench_json(args.compare) if args.compare else None
+    with record_run(
+        _ledger_from_args(args), "bench", _cli_command(args),
+        name=f"bench-{args.suite}",
+    ) as rec:
+        rec.hashes = {"suite": args.suite}
+        if out:
+            rec.artifacts = str(out)
+        status = _bench_execute(args, out, baseline)
+        rec.meta["exit"] = status
+    return status
+
+
+def _bench_execute(args: argparse.Namespace, out, baseline) -> int:
+    from repro.bench import (
+        compare_payloads,
+        incomparable_cases,
+        regressions,
+        run_bench,
+        run_fleet_bench,
+    )
+
+    runner = run_fleet_bench if args.suite == "fleet" else run_bench
     payload = runner(
         quick=args.quick, out_path=out or None, repeats=args.repeats
     )
@@ -651,56 +749,86 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
     )
     from repro.obs import Telemetry, sidecar_path, use, write_telemetry
     from repro.obs import telemetry as telemetry_mod
+    from repro.obs.ledger import record_run
+
+    monitor = args.monitor or args.watch
+    if monitor and args.shards is None:
+        print(
+            "error: --monitor/--watch require --shards (heartbeats ride "
+            "the worker progress pipe)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.watch and args.quiet:
+        print("error: --watch conflicts with --quiet", file=sys.stderr)
+        return 2
+    if args.shards is None:
+        if args.workers != 1:
+            print(
+                "error: --workers requires --shards (an unsharded fleet "
+                "is one simulation)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.stream:
+            print("error: --stream requires --shards", file=sys.stderr)
+            return 2
 
     spec = _fleet_spec_from_args(args)
-    progress = None if args.quiet else ConsoleFleetProgress()
+    progress = None if args.quiet else ConsoleFleetProgress(watch=args.watch)
+    ledger = _ledger_from_args(args)
 
     if args.shards is not None:
         # Sharded path: shards run like campaign cells on the worker
         # pool; --out becomes a directory (manifest + one artifact per
         # shard + merged fleet.json).  Shard-count validation
         # (shards < 1, shards > users) raises SpecError -> exit 2.
-        sharded = run_fleet_sharded(
-            spec,
-            args.shards,
-            out_dir=args.out,
-            workers=args.workers,
-            progress=progress,
-            telemetry=args.telemetry,
-            stream=True if args.stream else None,
-        )
+        with record_run(
+            ledger, "fleet-sharded", _cli_command(args), name=spec.name
+        ) as rec:
+            rec.hashes = {"fleet": spec.fleet_hash, "shards": args.shards}
+            sharded = run_fleet_sharded(
+                spec,
+                args.shards,
+                out_dir=args.out,
+                workers=args.workers,
+                progress=progress,
+                telemetry=args.telemetry,
+                stream=True if args.stream else None,
+                monitor=monitor,
+            )
+            if sharded.out_dir is not None:
+                rec.artifacts = str(sharded.out_dir)
+            merged = sharded.merged_telemetry()
+            rec.telemetry = merged
         result = sharded.merged
         _print_fleet_summary(result)
         if args.cdf:
             _print_fleet_cdfs(result)
         if args.out:
             print(f"artifacts in {sharded.out_dir}")
-        merged = sharded.merged_telemetry()
         if merged is not None:
             _print_telemetry_top(merged)
         return 0
 
-    if args.workers != 1:
-        print(
-            "error: --workers requires --shards (an unsharded fleet is "
-            "one simulation)",
-            file=sys.stderr,
-        )
-        return 2
-    if args.stream:
-        print("error: --stream requires --shards", file=sys.stderr)
-        return 2
-    hub = Telemetry() if args.telemetry else telemetry_mod.DISABLED
-    with use(hub):
-        result = run_fleet_trial(spec, progress)
+    with record_run(
+        ledger, "fleet", _cli_command(args), name=spec.name
+    ) as rec:
+        rec.hashes = {"fleet": spec.fleet_hash}
+        hub = Telemetry() if args.telemetry else telemetry_mod.DISABLED
+        with use(hub):
+            result = run_fleet_trial(spec, progress)
+        summary = hub.summary() if args.telemetry else None
+        rec.telemetry = summary
+        if args.out:
+            rec.artifacts = str(args.out)
     _print_fleet_summary(result)
     if args.cdf:
         _print_fleet_cdfs(result)
     if args.out:
         path = write_fleet_artifact(result, args.out)
         print(f"wrote {path}")
-    if args.telemetry:
-        summary = hub.summary()
+    if summary is not None:
         _print_telemetry_top(summary)
         if args.out:
             side = write_telemetry(summary, sidecar_path(args.out))
@@ -752,9 +880,9 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_top(args: argparse.Namespace) -> int:
-    from repro.obs import counter_rows, filter_summary, load_telemetry, top_rows
+    from repro.obs import counter_rows, filter_summary, top_rows
 
-    summary = load_telemetry(args.path)
+    summary = _resolve_summary(args.path, args.ledger)
     if args.events:
         # Engine's per-label instrumentation only: where simulated-event
         # time goes (sim.event.* spans) and what fires (sim.events.*).
@@ -777,16 +905,143 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_diff(args: argparse.Namespace) -> int:
-    from repro.obs import diff_rows, load_telemetry
+    from repro.obs import diff_rows
 
-    summary_a = load_telemetry(args.a)
-    summary_b = load_telemetry(args.b)
+    summary_a = _resolve_summary(args.a, args.ledger)
+    summary_b = _resolve_summary(args.b, args.ledger)
     headers, rows = diff_rows(summary_a, summary_b, args.limit)
     print(
         format_table(
             headers, rows, title=f"telemetry diff: A={args.a} B={args.b}"
         )
     )
+    return 0
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import RunLedger, format_when
+
+    ledger = RunLedger(args.ledger)
+    entries, corrupt = ledger.scan()
+    if corrupt:
+        print(
+            f"warning: skipped {corrupt} corrupt ledger line(s) in "
+            f"{ledger.path}",
+            file=sys.stderr,
+        )
+    if args.limit is not None and args.limit > 0:
+        entries = entries[-args.limit:]
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(
+            f"no runs recorded in {ledger.path} (campaign/fleet/bench "
+            "runs append there automatically)"
+        )
+        return 0
+    rows = []
+    for entry in entries:
+        hashes = entry.get("hashes") or {}
+        content = (
+            hashes.get("fleet")
+            or hashes.get("campaign")
+            or hashes.get("suite")
+            or "-"
+        )
+        duration = entry.get("duration_s")
+        rows.append(
+            [
+                entry.get("run_id", "-"),
+                format_when(entry["started_at"])
+                if entry.get("started_at")
+                else "-",
+                entry.get("kind", "-"),
+                entry.get("name", "-"),
+                content,
+                f"{duration:.2f}"
+                if isinstance(duration, (int, float))
+                else "-",
+                entry.get("status", "-"),
+            ]
+        )
+    print(
+        format_table(
+            ["run", "when (UTC)", "kind", "name", "hash", "wall (s)",
+             "status"],
+            rows,
+            title=f"run ledger [{ledger.path}]",
+        )
+    )
+    return 0
+
+
+def _cmd_obs_regress(args: argparse.Namespace) -> int:
+    from repro.obs import diff_rows
+    from repro.obs.ledger import RunLedger, regress_failures
+
+    if args.tolerance < 0.0:
+        print("error: --tolerance must be non-negative", file=sys.stderr)
+        return 2
+    ledger = RunLedger(args.ledger)
+    if args.last is not None:
+        if args.a or args.b:
+            print(
+                "error: give two run ids or --last N, not both",
+                file=sys.stderr,
+            )
+            return 2
+        if args.last < 2:
+            print("error: --last must be >= 2", file=sys.stderr)
+            return 2
+        window = ledger.last(args.last)
+        if len(window) < 2:
+            raise ObsError(
+                f"need at least 2 recorded runs in {ledger.path}, "
+                f"have {len(window)}"
+            )
+        entry_a, entry_b = window[0], window[-1]
+    else:
+        if not (args.a and args.b):
+            print(
+                "error: obs regress needs <run-a> <run-b> or --last N",
+                file=sys.stderr,
+            )
+            return 2
+        entry_a = ledger.find(args.a)
+        entry_b = ledger.find(args.b)
+    for label, entry in (("A", entry_a), ("B", entry_b)):
+        duration = entry.get("duration_s")
+        wall = (
+            f"{duration:.2f}s"
+            if isinstance(duration, (int, float))
+            else "?"
+        )
+        print(
+            f"{label}: {entry.get('run_id', '?')} "
+            f"[{entry.get('kind', '?')}] {entry.get('name', '?')!r} "
+            f"{wall} ({entry.get('status', '?')})"
+        )
+    if (entry_a.get("hashes") or {}) != (entry_b.get("hashes") or {}):
+        print("note: runs have different content hashes — comparing "
+              "different workloads")
+    telemetry_a = entry_a.get("telemetry")
+    telemetry_b = entry_b.get("telemetry")
+    if telemetry_a and telemetry_b:
+        headers, rows = diff_rows(telemetry_a, telemetry_b, args.limit)
+        print(format_table(headers, rows, title="span comparison (B/A)"))
+    else:
+        print("note: span comparison skipped (a run recorded no "
+              "telemetry; use --telemetry)")
+    failures = regress_failures(entry_a, entry_b, args.tolerance)
+    if failures:
+        print(
+            f"REGRESSION: {len(failures)} measure(s) slowed beyond "
+            f"+{100.0 * args.tolerance:.0f}%: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no regression (tolerance +{100.0 * args.tolerance:.0f}%)")
     return 0
 
 
@@ -975,6 +1230,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="collect per-cell wall-clock telemetry "
                           "(sidecars under <out>/telemetry/; cell "
                           "artifacts stay byte-identical)")
+    _add_ledger_args(run)
     run.set_defaults(func=_cmd_campaign_run)
 
     resume = campaign_sub.add_parser(
@@ -986,6 +1242,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--quiet", action="store_true")
     resume.add_argument("--telemetry", action="store_true",
                         help="collect per-cell wall-clock telemetry")
+    _add_ledger_args(resume)
     resume.set_defaults(func=_cmd_campaign_resume)
 
     summarize_cmd = campaign_sub.add_parser(
@@ -1025,6 +1282,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="collect wall-clock telemetry "
                                 "(<out stem>.telemetry.json sidecar; the "
                                 "artifact stays byte-identical)")
+    fleet_run.add_argument("--monitor", action="store_true",
+                           help="live monitoring for --shards runs: "
+                                "worker heartbeats (events/s, RSS/CPU) "
+                                "and straggler warnings; thresholds via "
+                                "REPRO_HEARTBEAT_S / REPRO_STALL_S")
+    fleet_run.add_argument("--watch", action="store_true",
+                           help="single live status line instead of "
+                                "scrolling progress (implies --monitor)")
+    _add_ledger_args(fleet_run)
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
     fleet_sum = fleet_sub.add_parser(
@@ -1055,12 +1321,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--compare-tolerance", type=float, default=0.20,
                        help="allowed median slowdown before a case counts "
                             "as regressed (0.20 = +20%%)")
+    _add_ledger_args(bench)
     bench.set_defaults(func=_cmd_bench)
 
     obs = sub.add_parser(
         "obs",
         help="observability: Chrome trace export, span rankings, "
-             "run diffs, overhead gate",
+             "run diffs, overhead gate, run ledger history/regress",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
@@ -1082,10 +1349,14 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="hottest spans of a telemetry artifact"
     )
     obs_top.add_argument("path",
-                         help="telemetry summary JSON, or a campaign "
-                              "directory (per-cell summaries merged)")
+                         help="telemetry summary JSON, a campaign "
+                              "directory (per-cell summaries merged), "
+                              "or a ledger run ID")
     obs_top.add_argument("--limit", type=int, default=15,
                          help="rows to show")
+    obs_top.add_argument("--ledger", default=None, metavar="FILE",
+                         help="ledger for run-ID lookups "
+                              "(default .repro/runs.jsonl)")
     obs_top.add_argument("--counters", action="store_true",
                          help="print the counter table too")
     obs_top.add_argument("--events", action="store_true",
@@ -1096,11 +1367,51 @@ def build_parser() -> argparse.ArgumentParser:
     obs_diff = obs_sub.add_parser(
         "diff", help="span-by-span comparison of two telemetry artifacts"
     )
-    obs_diff.add_argument("a", help="baseline telemetry artifact (A)")
-    obs_diff.add_argument("b", help="candidate telemetry artifact (B)")
+    obs_diff.add_argument("a", help="baseline telemetry artifact or "
+                               "ledger run ID (A)")
+    obs_diff.add_argument("b", help="candidate telemetry artifact or "
+                               "ledger run ID (B)")
     obs_diff.add_argument("--limit", type=int, default=None,
                           help="rows to show (default all)")
+    obs_diff.add_argument("--ledger", default=None, metavar="FILE",
+                          help="ledger for run-ID lookups "
+                               "(default .repro/runs.jsonl)")
     obs_diff.set_defaults(func=_cmd_obs_diff)
+
+    obs_history = obs_sub.add_parser(
+        "history",
+        help="list recorded runs from the append-only run ledger",
+    )
+    obs_history.add_argument("--ledger", default=None, metavar="FILE",
+                             help="ledger path "
+                                  "(default .repro/runs.jsonl)")
+    obs_history.add_argument("--limit", type=int, default=20,
+                             help="most recent N runs (0 = all)")
+    obs_history.add_argument("--json", action="store_true",
+                             help="machine-readable entries")
+    obs_history.set_defaults(func=_cmd_obs_history)
+
+    obs_regress = obs_sub.add_parser(
+        "regress",
+        help="tolerance-gated duration/span comparison of two ledger "
+             "runs; exits 1 on regression",
+    )
+    obs_regress.add_argument("a", nargs="?", default=None,
+                             help="baseline run ID (A)")
+    obs_regress.add_argument("b", nargs="?", default=None,
+                             help="candidate run ID (B)")
+    obs_regress.add_argument("--last", type=int, default=None, metavar="N",
+                             help="compare the oldest vs newest of the "
+                                  "last N recorded runs (e.g. --last 2)")
+    obs_regress.add_argument("--tolerance", type=float, default=0.25,
+                             help="allowed slowdown before a measure "
+                                  "counts as regressed (0.25 = +25%%)")
+    obs_regress.add_argument("--limit", type=int, default=10,
+                             help="span-comparison rows to show")
+    obs_regress.add_argument("--ledger", default=None, metavar="FILE",
+                             help="ledger path "
+                                  "(default .repro/runs.jsonl)")
+    obs_regress.set_defaults(func=_cmd_obs_regress)
 
     obs_gate = obs_sub.add_parser(
         "gate",
@@ -1120,6 +1431,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The effective argv, recorded verbatim in run-ledger entries.
+    args.cli_argv = list(argv) if argv is not None else list(sys.argv[1:])
     configure_logging(level=args.log_level, verbosity=args.verbose)
     try:
         return args.func(args)

@@ -48,14 +48,11 @@ from repro.fleet.store import FleetShardStore
 from repro.mobility.base import TimeShifted
 from repro.net.deployment import Deployment
 from repro.net.mobile import Mobile
+from repro.obs import resources as _resources
 from repro.obs import telemetry as _telemetry
+from repro.obs.monitor import MonitorConfig, StallDetector
 from repro.obs.telemetry import wall_clock
 from repro.obs.log import get_logger
-
-try:  # Unix only; worker RSS stats degrade to None elsewhere
-    import resource as _resource
-except ImportError:  # pragma: no cover
-    _resource = None
 
 PathLike = Union[str, Path]
 
@@ -266,6 +263,7 @@ def run_built_fleet(
     started: List = []
     started_wall = wall_clock()
     if progress is not None:
+        progress.bind_events(run.deployment.sim)
         progress.on_start(len(run.users), spec.duration_s)
     try:
         with telemetry.span("fleet.run"):
@@ -347,13 +345,6 @@ SHARD_FORMAT = 1
 STREAM_THRESHOLD = 10_000
 
 
-def _max_rss_kb() -> Optional[int]:
-    """This process's peak RSS in ru_maxrss units (KiB on Linux)."""
-    if _resource is None:  # pragma: no cover
-        return None
-    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
-
-
 def run_shard(
     shard: FleetShard,
     stream: bool = False,
@@ -377,6 +368,9 @@ def run_shard(
         )
     started: List = []
     if progress is not None:
+        # Monitor heartbeats report cumulative engine events; the
+        # counter is read-only diagnostics, never simulation input.
+        progress.bind_events(run.deployment.sim)
         progress.on_start(len(run.users), spec.duration_s)
     try:
         with telemetry.span("fleet.run"):
@@ -423,8 +417,9 @@ def _execute_shard_task(
 
     Returns ``(shard_hash, payload|None, error|None, elapsed_s,
     telemetry|None, stats|None)`` — the trailing ``stats`` dict carries
-    worker-process peak RSS so the bench suite can report sharded
-    memory behaviour without instrumenting the driver.
+    worker-process peak RSS/CPU (from :mod:`repro.obs.resources`) so
+    the bench suite can report sharded memory behaviour without
+    instrumenting the driver.
     """
     shard_hash = task["shard_hash"]
     started = wall_clock()
@@ -433,7 +428,13 @@ def _execute_shard_task(
         shard = FleetShard.from_dict(task["shard"])
         sink = progress_sink()
         progress = (
-            QueueShardProgress(sink, shard.shard_index)
+            QueueShardProgress(
+                sink,
+                shard.shard_index,
+                heartbeat_s=(
+                    task.get("heartbeat_s") if task.get("monitor") else None
+                ),
+            )
             if sink is not None
             else None
         )
@@ -445,7 +446,10 @@ def _execute_shard_task(
                 progress=progress,
             )
         summary = hub.summary() if task["telemetry"] else None
-        stats = {"max_rss_kb": _max_rss_kb()}
+        stats = {
+            "max_rss_kb": _resources.max_rss_kb(),
+            "cpu_s": _resources.cpu_s(),
+        }
         return shard_hash, payload, None, wall_clock() - started, summary, stats
     except Exception:  # collected, reported, retried on resume
         message = traceback.format_exc()
@@ -535,6 +539,7 @@ def run_fleet_sharded(
     stream: Optional[bool] = None,
     capacity: Optional[int] = None,
     mp_context: Optional[str] = None,
+    monitor: bool = False,
 ) -> ShardedFleetResult:
     """Partition a fleet into shards and run them on the campaign pool.
 
@@ -557,6 +562,13 @@ def run_fleet_sharded(
     ``capacity``
         Per-metric quantile reservoir capacity for streaming runs
         (default :data:`~repro.analysis.stats.QuantileReservoir.DEFAULT_CAPACITY`).
+    ``monitor``
+        Enable live monitoring: workers post throttled heartbeats
+        (events/s, RSS/CPU) over the progress pipe and the driver
+        flags shards silent past the stall threshold, both surfaced
+        through ``progress`` hooks.  Thresholds come from the declared
+        ``REPRO_HEARTBEAT_S`` / ``REPRO_STALL_S`` switches.  Purely
+        observational — artifacts are byte-identical either way.
     """
     if workers < 1:
         raise FleetError(f"workers must be >= 1, got {workers!r}")
@@ -593,8 +605,10 @@ def run_fleet_sharded(
     result.skipped = len(done_hashes)
 
     reporter = progress if progress is not None else FleetProgress()
+    config = MonitorConfig.from_switches() if monitor else None
+    stall = StallDetector(config.stall_s) if monitor else None
     aggregator = ShardProgressAggregator(
-        reporter, spec.n_users, spec.duration_s
+        reporter, spec.n_users, spec.duration_s, stall=stall
     )
     reporter.on_start(spec.n_users, spec.duration_s)
     started_wall = wall_clock()
@@ -643,6 +657,9 @@ def run_fleet_sharded(
         result.executed += 1
 
     if pending:
+        if stall is not None:
+            for shard in pending:
+                stall.watch(shard.shard_index)
         tasks = [
             {
                 "shard": shard.to_dict(),
@@ -650,6 +667,8 @@ def run_fleet_sharded(
                 "telemetry": telemetry,
                 "stream": stream,
                 "capacity": capacity,
+                "monitor": monitor,
+                "heartbeat_s": config.heartbeat_s if monitor else None,
             }
             for shard in pending
         ]
@@ -659,7 +678,12 @@ def run_fleet_sharded(
             workers,
             record_outcome,
             mp_context=mp_context,
-            progress_handler=aggregator.handle if progress is not None else None,
+            progress_handler=(
+                aggregator.handle
+                if (progress is not None or monitor)
+                else None
+            ),
+            tick=aggregator.tick if monitor else None,
         )
 
     if failures:

@@ -53,9 +53,12 @@ def _default_switch_names() -> Tuple[str, ...]:
 class LintConfig:
     """Scopes and namespaces the determinism rules check against."""
 
-    # -- DET001: modules whose *business* is the wall clock.  Progress
-    # reporters are allowlisted by filename: every subsystem's
-    # ``progress.py`` is wall-clock UI by construction.
+    # -- DET001: modules whose *business* is the wall clock.  The
+    # ``repro/obs/*`` glob is the sanctioned scope: telemetry spans,
+    # the run ledger (``obs/ledger.py`` timestamps runs), and the
+    # monitor (``obs/monitor.py`` heartbeat/stall clocks) all live
+    # there.  Progress reporters are allowlisted by filename: every
+    # subsystem's ``progress.py`` is wall-clock UI by construction.
     wall_clock_allow: Tuple[str, ...] = (
         "repro/obs/*",
         "repro/bench/*",

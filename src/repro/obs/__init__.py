@@ -12,6 +12,11 @@ streams, no simulated state):
 * :mod:`repro.obs.export` / :mod:`repro.obs.report` — Chrome
   trace-event export for Perfetto, plus load/merge/top/diff over the
   telemetry summaries campaigns and fleets leave on disk.
+* :mod:`repro.obs.ledger` — the append-only ``runs.jsonl`` run ledger
+  behind ``repro obs history`` / ``repro obs regress``.
+* :mod:`repro.obs.monitor` / :mod:`repro.obs.resources` — worker
+  heartbeats + stall detection over the progress pipe, and the single
+  source for RSS/CPU figures.
 
 Quickstart::
 
@@ -26,7 +31,17 @@ or, from the command line: ``repro fleet run --telemetry``, then
 """
 
 from repro.obs.export import chrome_trace, chrome_trace_events, write_chrome_trace
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    RunLedger,
+    RunRecord,
+    default_ledger_path,
+    record_run,
+    regress_failures,
+)
 from repro.obs.log import configure_logging, get_logger, resolve_level
+from repro.obs.monitor import HeartbeatEmitter, MonitorConfig, StallDetector
+from repro.obs.resources import cpu_s, current_rss_kb, max_rss_kb, sample
 from repro.obs.report import (
     ObsError,
     counter_rows,
@@ -50,20 +65,33 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "DISABLED",
+    "HeartbeatEmitter",
+    "LEDGER_FORMAT",
+    "MonitorConfig",
     "ObsError",
+    "RunLedger",
+    "RunRecord",
+    "StallDetector",
     "TELEMETRY_FORMAT",
     "Telemetry",
     "chrome_trace",
     "chrome_trace_events",
     "configure_logging",
     "counter_rows",
+    "cpu_s",
     "current",
+    "current_rss_kb",
+    "default_ledger_path",
     "diff_rows",
     "filter_summary",
     "get_logger",
     "load_telemetry",
+    "max_rss_kb",
     "merge_summaries",
+    "record_run",
+    "regress_failures",
     "resolve_level",
+    "sample",
     "set_current",
     "sidecar_path",
     "top_rows",

@@ -13,7 +13,10 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.obs.log import get_logger
 from repro.obs.telemetry import Telemetry
+
+_log = get_logger("obs")
 
 PathLike = Union[str, Path]
 
@@ -84,7 +87,33 @@ def load_telemetry(path: PathLike) -> dict:
                 f"{telemetry_dir} or {target} "
                 f"(was the run made with --telemetry?)"
             )
-        return merge_summaries(_load_summary_file(f) for f in files)
+        # A corrupt or unreadable sidecar (torn write, stray file) costs
+        # one counted warning, not the whole merge — but if *nothing*
+        # loads the caller still gets a loud error.
+        summaries: List[dict] = []
+        skipped = 0
+        first_error: Optional[ObsError] = None
+        for f in files:
+            try:
+                summaries.append(_load_summary_file(f))
+            except ObsError as error:
+                skipped += 1
+                if first_error is None:
+                    first_error = error
+        if skipped:
+            _log.warning(
+                "%s: skipped %d unreadable telemetry summar%s (first: %s)",
+                target,
+                skipped,
+                "y" if skipped == 1 else "ies",
+                first_error,
+            )
+        if not summaries:
+            raise ObsError(
+                f"{target}: all {skipped} telemetry summaries unreadable "
+                f"(first: {first_error})"
+            )
+        return merge_summaries(summaries)
     return _load_summary_file(target)
 
 

@@ -1,0 +1,65 @@
+"""Process resource sampling — the one source for RSS/CPU figures.
+
+Every resident-set-size or CPU-time number the project reports (fleet
+shard stats, bench fleet suite, run-ledger entries, monitor heartbeats)
+comes from this module so units never drift between call sites:
+
+* RSS is always **KiB** (``ru_maxrss`` is bytes on macOS and KiB on
+  Linux; :func:`max_rss_kb` normalizes).
+* CPU time is always **seconds** (user + system, this process only).
+
+Everything degrades to ``None`` on platforms without ``resource`` or
+``/proc`` rather than raising — resource figures are diagnostics, never
+inputs to the simulation, so a missing sampler must not fail a run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Optional
+
+try:  # Unix only; RSS figures degrade to None elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-Unix platforms
+    _resource = None
+
+
+def max_rss_kb() -> Optional[int]:
+    """This process's peak resident set size in KiB, or ``None``."""
+    if _resource is None:  # pragma: no cover - non-Unix platforms
+        return None
+    peak = int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        peak //= 1024
+    return peak
+
+
+def current_rss_kb() -> Optional[int]:
+    """This process's *current* resident set size in KiB, or ``None``.
+
+    Reads ``/proc/self/statm`` where available (Linux); falls back to
+    the peak figure elsewhere so heartbeat payloads stay populated.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            fields = fh.read().split()
+        pages = int(fields[1])
+        return pages * os.sysconf("SC_PAGESIZE") // 1024
+    except (OSError, IndexError, ValueError):
+        return max_rss_kb()
+
+
+def cpu_s() -> float:
+    """CPU seconds (user + system) consumed by this process."""
+    times = os.times()
+    return float(times.user + times.system)
+
+
+def sample() -> Dict[str, object]:
+    """One point-in-time resource sample (heartbeats, ledger entries)."""
+    return {
+        "rss_kb": current_rss_kb(),
+        "max_rss_kb": max_rss_kb(),
+        "cpu_s": round(cpu_s(), 3),
+    }

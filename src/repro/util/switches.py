@@ -38,12 +38,19 @@ class SwitchError(ValueError):
 
 @dataclass(frozen=True)
 class Switch:
-    """One declared environment switch."""
+    """One declared environment switch.
+
+    ``values`` is the closed set of legal strings for an enum switch.
+    An *empty* ``values`` tuple declares a free-form switch (e.g. a
+    numeric threshold) whose legal range is described by ``hint`` and
+    enforced by its typed accessor (:func:`switch_float`).
+    """
 
     name: str
     default: str
     values: Tuple[str, ...]
     description: str
+    hint: str = ""
 
 
 #: The declared switches, in display order.  Adding a runtime toggle
@@ -86,6 +93,28 @@ _TABLE: Tuple[Switch, ...] = (
             "radius, or evaluate every pair"
         ),
     ),
+    Switch(
+        name="REPRO_HEARTBEAT_S",
+        default="5",
+        values=(),
+        description=(
+            "Monitor heartbeat interval: how often a fleet worker posts "
+            "an events/s + RSS/CPU heartbeat over the progress pipe "
+            "(only read when the monitor is enabled)"
+        ),
+        hint="seconds > 0",
+    ),
+    Switch(
+        name="REPRO_STALL_S",
+        default="30",
+        values=(),
+        description=(
+            "Monitor stall threshold: a shard silent on the progress "
+            "pipe for this long is flagged as a straggler "
+            "(only read when the monitor is enabled)"
+        ),
+        hint="seconds > 0",
+    ),
 )
 
 #: Declared switches by name.
@@ -118,10 +147,30 @@ def switch_value(name: str) -> str:
     """
     declared = switch(name)
     value = os.environ.get(declared.name, declared.default)
-    if value not in declared.values:
+    if declared.values and value not in declared.values:
         raise SwitchError(
             f"{declared.name} must be one of {declared.values}, got {value!r}"
         )
+    return value
+
+
+def switch_float(name: str) -> float:
+    """The current value of free-form switch ``name`` as a positive float.
+
+    Same call-time environment semantics as :func:`switch_value`, with
+    the numeric validation a free-form (empty ``values``) switch needs:
+    non-numeric or non-positive values raise ``SwitchError``.
+    """
+    raw = switch_value(name)
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SwitchError(
+            f"{name} must be a number ({switch(name).hint or 'seconds'}), "
+            f"got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise SwitchError(f"{name} must be > 0, got {raw!r}")
     return value
 
 
@@ -133,6 +182,7 @@ def switch_records() -> list:
             "default": s.default,
             "values": list(s.values),
             "description": s.description,
+            "hint": s.hint,
         }
         for s in _TABLE
     ]

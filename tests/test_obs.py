@@ -343,6 +343,39 @@ class TestReportTooling:
         with pytest.raises(ObsError, match="no telemetry summaries"):
             load_telemetry(tmp_path)
 
+    def test_corrupt_sidecar_in_directory_warns_not_aborts(
+        self, tmp_path, caplog
+    ):
+        write_telemetry(make_summary(a=(1, 1.0)), tmp_path / "good.json")
+        (tmp_path / "torn.json").write_text("{not json", encoding="utf-8")
+        # An earlier configure_logging() may have stopped "repro"
+        # records propagating to the root logger caplog listens on.
+        root = logging.getLogger("repro")
+        previous = root.propagate
+        root.propagate = True
+        try:
+            with caplog.at_level("WARNING", logger="repro.obs"):
+                merged = load_telemetry(tmp_path)
+        finally:
+            root.propagate = previous
+        # The good sidecar still merges; the corrupt one is counted in
+        # exactly one warning line naming the first error.
+        assert merged["spans"]["a"] == {"count": 1, "total_s": 1.0}
+        warnings = [record for record in caplog.records
+                    if "skipped" in record.getMessage()]
+        assert len(warnings) == 1
+        message = warnings[0].getMessage()
+        assert "skipped 1 unreadable telemetry" in message
+        assert "torn.json" in message
+
+    def test_all_sidecars_corrupt_raises(self, tmp_path):
+        (tmp_path / "a.json").write_text("{not json", encoding="utf-8")
+        (tmp_path / "b.json").write_text(
+            json.dumps({"results": []}, sort_keys=True), encoding="utf-8"
+        )
+        with pytest.raises(ObsError, match="all 2 telemetry summaries"):
+            load_telemetry(tmp_path)
+
     def test_load_malformed_raises(self, tmp_path):
         bad = tmp_path / "bad.json"
         bad.write_text("{not json", encoding="utf-8")

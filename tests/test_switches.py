@@ -19,11 +19,17 @@ class TestTable:
             "REPRO_BURST_SCHED",
             "REPRO_FLEET_PATH",
             "REPRO_CELL_INDEX",
+            "REPRO_HEARTBEAT_S",
+            "REPRO_STALL_S",
         }
 
     def test_defaults_are_legal_values(self):
         for declared in declared_switches():
-            assert declared.default in declared.values
+            if declared.values:
+                assert declared.default in declared.values
+            else:
+                # Free-form switches must at least describe their domain.
+                assert declared.hint
             assert declared.description
 
     def test_records_shape(self):
@@ -32,7 +38,8 @@ class TestTable:
             declared.name for declared in declared_switches()
         ]
         for record in records:
-            assert {"name", "default", "values", "description"} <= set(record)
+            assert {"name", "default", "values", "description",
+                    "hint"} <= set(record)
 
 
 class TestSwitchValue:
@@ -50,6 +57,10 @@ class TestSwitchValue:
         monkeypatch.setenv("REPRO_CELL_INDEX", "maybe")
         with pytest.raises(ValueError, match="REPRO_CELL_INDEX"):
             switch_value("REPRO_CELL_INDEX")
+
+    def test_free_form_switch_accepts_any_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "0.25")
+        assert switch_value("REPRO_HEARTBEAT_S") == "0.25"
 
     def test_undeclared_name_is_loud(self):
         with pytest.raises(ValueError, match="REPRO_TURBO"):
@@ -72,3 +83,8 @@ class TestCli:
         assert "REPRO_BURST_PATH" in out
         assert "vectorized" in out
         assert "REPRO_CELL_INDEX" in out
+        # Free-form monitor switches show their hint where enumerated
+        # switches show the value set.
+        assert "REPRO_HEARTBEAT_S" in out
+        assert "REPRO_STALL_S" in out
+        assert "seconds > 0" in out
